@@ -1,0 +1,31 @@
+"""Benchmark: the extension (what-if) studies beyond the paper."""
+
+import pytest
+
+from repro.experiments import extensions
+
+from conftest import BENCH_CYCLES, show
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_extension_studies(benchmark):
+    results = benchmark.pedantic(extensions.run, kwargs={"cycles": BENCH_CYCLES},
+                                 rounds=1, iterations=1)
+    show("Extensions", extensions.format_table(results))
+    # Lateral buses: more buses soften the rotation-8 collapse.
+    lat = {r.buses_per_direction: r.rotation8_gbps for r in results["lateral"]}
+    assert lat[4] > 1.5 * lat[2]
+    assert lat[1] < lat[2]
+    # Stack scaling: bandwidth doubles with channel count.
+    stacks = {r.stacks: r.measured_gbps for r in results["stacks"]}
+    assert stacks[2] == pytest.approx(2 * stacks[1], rel=0.08)
+    assert stacks[4] == pytest.approx(2 * stacks[2], rel=0.08)
+    # Granularity: one-burst interleaving wins; megabyte chunks hot-spot.
+    gran = {r.granularity: r for r in results["granularity"]}
+    assert gran[512].ccs_gbps > 20 * gran[1 << 20].ccs_gbps
+    # Clock compensation: 2:1 at 300 MHz ≈ unidirectional 450 MHz.
+    clock = {(r.accel_mhz, str(r.rw)): r.scs_gbps for r in results["clock"]}
+    assert clock[(300, "2:1")] == pytest.approx(clock[(450, "1:0")], rel=0.05)
+    # Refresh policy: per-bank refresh recovers most of the 7 % loss.
+    refresh = {r.policy: r.scs_gbps for r in results["refresh"]}
+    assert refresh["per-bank"] > 1.05 * refresh["all-bank"]

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 2 (throughput vs. read/write ratio).
+
+Asserts the figure's two headline properties on every run: the curve
+peaks at a mixed ratio around 2:1 and unidirectional traffic is
+port-limited to ~307 GB/s.
+"""
+
+import pytest
+
+from repro.experiments import fig2_rw_ratio
+from repro.types import RWRatio
+
+from conftest import BENCH_CYCLES, show
+
+_SHOWN = False
+
+
+def _regen():
+    return fig2_rw_ratio.run(cycles=BENCH_CYCLES)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_rw_ratio(benchmark):
+    rows = benchmark.pedantic(_regen, rounds=1, iterations=1)
+    global _SHOWN
+    if not _SHOWN:
+        show("Fig. 2", fig2_rw_ratio.format_table(rows))
+        _SHOWN = True
+    peak = fig2_rw_ratio.peak_row(rows)
+    assert peak.ratio in (RWRatio(2, 1), RWRatio(1, 1), RWRatio(1, 2))
+    assert peak.total_gbps > 390
+    by_ratio = {r.ratio: r for r in rows}
+    assert by_ratio[RWRatio(1, 0)].total_gbps == pytest.approx(307, rel=0.05)
+    assert by_ratio[RWRatio(0, 1)].total_gbps == pytest.approx(307, rel=0.05)

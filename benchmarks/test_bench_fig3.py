@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Fig. 3 (burst-length sweep per pattern).
+
+The full figure is 4 patterns x 3 directions x 5 burst lengths; each
+pattern is one benchmark so timings are comparable, and the paper's shape
+claims are asserted per sub-figure.
+"""
+
+import pytest
+
+from repro.experiments import fig3_burst_length
+from repro.types import Pattern
+
+from conftest import BENCH_CYCLES, show
+
+_rows_cache = {}
+
+
+def _regen(pattern):
+    rows = fig3_burst_length.run(cycles=BENCH_CYCLES, patterns=(pattern,))
+    _rows_cache[pattern] = rows
+    return rows
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("pattern", list(Pattern), ids=lambda p: p.name)
+def test_fig3_burst_length(benchmark, pattern):
+    rows = benchmark.pedantic(_regen, args=(pattern,), rounds=1, iterations=1)
+    show(f"Fig. 3 ({pattern.name})", fig3_burst_length.format_table(rows))
+    both = fig3_burst_length.series(rows, pattern, "Both")
+    # Universal claim: length-one bursts perform significantly worse.
+    assert both[1] < 0.75 * both[16]
+    if pattern is Pattern.SCS:
+        assert both[16] == pytest.approx(416.7, rel=0.03)
+        rd = fig3_burst_length.series(rows, pattern, "RD")
+        assert rd[2] > 1.3 * rd[1]          # the +50 % step
+        assert rd[2] > 0.85 * rd[16]        # BL2 almost maximizes
+    if pattern is Pattern.CCS:
+        assert both[16] == pytest.approx(13.0, rel=0.06)  # hot-spot
+    if pattern is Pattern.CCRA:
+        assert both[16] > 5 * 13.0          # memory-level parallelism

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 4 (rotation offsets vs. throughput)."""
+
+import pytest
+
+from repro.experiments import fig4_rotation
+
+from conftest import BENCH_CYCLES, show
+
+
+def _regen():
+    # The high-offset congestion equilibrium needs a longer horizon than
+    # the throughput benches (queues along multi-hop routes fill slowly).
+    return fig4_rotation.run(cycles=max(BENCH_CYCLES, 10_000))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_rotation(benchmark):
+    rows = benchmark.pedantic(_regen, rounds=1, iterations=1)
+    show("Fig. 4", fig4_rotation.format_table(rows))
+    by_offset = {r.offset: r for r in rows}
+    assert by_offset[0].total_gbps == pytest.approx(416.7, rel=0.03)
+    assert by_offset[1].relative_to_rot0 == pytest.approx(1.0, abs=0.03)
+    assert by_offset[2].relative_to_rot0 == pytest.approx(0.749, abs=0.06)
+    assert by_offset[4].relative_to_rot0 == pytest.approx(0.498, abs=0.07)
+    assert by_offset[8].fraction_of_peak == pytest.approx(0.125, abs=0.03)
+    # Monotone decrease beyond offset 1 (the paper's "with every
+    # additional offset ... the performance further decreased").
+    values = [by_offset[i].total_gbps for i in range(1, 9)]
+    assert all(b <= a * 1.02 for a, b in zip(values, values[1:]))

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 5 (stride length vs. throughput with MAO)."""
+
+import pytest
+
+from repro.experiments import fig5_stride
+
+from conftest import BENCH_CYCLES, show
+
+KB = 1024
+
+
+def _regen():
+    return fig5_stride.run(cycles=BENCH_CYCLES)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_stride(benchmark):
+    rows = benchmark.pedantic(_regen, rounds=1, iterations=1)
+    show("Fig. 5", fig5_stride.format_table(rows))
+    by_stride = {r.stride: r for r in rows}
+    plateau = [r.total_gbps for r in fig5_stride.plateau_rows(rows)]
+    # Maximal performance between 16 KB and 256 KB.
+    assert min(plateau) > 390
+    # Beyond 256 KB every transaction ping-pongs one bank: page misses
+    # dominate (tRC-bound).
+    assert by_stride[512 * KB].total_gbps < 0.8 * max(plateau)
+    assert by_stride[4096 * KB].total_gbps < 0.8 * max(plateau)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 6 (reorder depth vs. CCRA throughput)."""
+
+import pytest
+
+from repro.experiments import fig6_reorder
+
+from conftest import BENCH_CYCLES, show
+
+
+def _regen():
+    return fig6_reorder.run(cycles=BENCH_CYCLES)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_reorder(benchmark):
+    rows = benchmark.pedantic(_regen, rounds=1, iterations=1)
+    show("Fig. 6", fig6_reorder.format_table(rows))
+    by_depth = {r.reorder_depth: r for r in rows}
+    # Rising curve: more independent AXI IDs help random access...
+    assert by_depth[16].total_gbps > 1.2 * by_depth[1].total_gbps
+    # ...and saturate towards the paper's ~266 GB/s plateau.
+    assert by_depth[32].total_gbps == pytest.approx(266, rel=0.12)
+    assert by_depth[32].total_gbps == pytest.approx(
+        by_depth[16].total_gbps, rel=0.05)

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Fig. 7 (Roofline models of accelerators A/B)."""
+
+import pytest
+
+from repro.experiments import fig7_roofline
+from repro.roofline import Bound
+
+from conftest import BENCH_CYCLES, show
+
+
+def _regen():
+    return fig7_roofline.run(cycles=BENCH_CYCLES)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_roofline(benchmark):
+    results = benchmark.pedantic(_regen, rounds=1, iterations=1)
+    show("Fig. 7", fig7_roofline.format_table(results))
+    a, b = results
+    pa = {p.name: p for p in a.points}
+    pb = {p.name: p for p in b.points}
+    # Without optimized access every configuration is memory bound.
+    for p in (4, 8, 16, 32):
+        assert pa[f"{p} ports (XLNX)"].bound is Bound.MEMORY
+        assert pb[f"{p} ports (XLNX)"].bound is Bound.MEMORY
+    # With the MAO, A is compute bound for P < 32, memory bound at P=32.
+    assert pa["8 ports (MAO)"].bound is Bound.COMPUTE
+    assert pa["16 ports (MAO)"].bound is Bound.COMPUTE
+    assert pa["32 ports (MAO)"].bound is Bound.MEMORY
+    # B becomes compute bound everywhere with the MAO.
+    for p in (4, 8, 16, 32):
+        assert pb[f"{p} ports (MAO)"].bound is Bound.COMPUTE

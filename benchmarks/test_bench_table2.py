@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Table II (latency comparison XLNX vs MAO)."""
+
+import pytest
+
+from repro.experiments import table2_latency
+from repro.types import Pattern
+
+from conftest import BENCH_CYCLES, show
+
+
+def _regen():
+    # Latency distributions need a longer horizon than throughput: the
+    # vendor fabric's congestion (and hence its variance) builds up over
+    # thousands of cycles.
+    return table2_latency.run(cycles=max(BENCH_CYCLES, 8_000))
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_latency(benchmark):
+    rows = benchmark.pedantic(_regen, rounds=1, iterations=1)
+    show("Table II", table2_latency.format_table(rows))
+    find = table2_latency.find
+    # Single traffic: uncontended round trips in the 30-120 cycle range.
+    single_x = find(rows, "Single", "xlnx", Pattern.CCS)
+    assert 45 <= single_x.read.mean <= 115
+    assert 20 <= single_x.write.mean <= 60
+    # MAO writes acknowledge deterministically (paper: σ 0.1).
+    single_m = find(rows, "Single", "mao", Pattern.CCS)
+    assert single_m.write.std < 3.0
+    # Burst traffic: the vendor fabric's contention dominates; the MAO
+    # caps both the mean and — especially — the variance.
+    burst_x = find(rows, "Burst", "xlnx", Pattern.CCS)
+    burst_m = find(rows, "Burst", "mao", Pattern.CCS)
+    assert burst_x.read.mean > 2 * burst_m.read.mean
+    assert burst_x.read.std > 5 * burst_m.read.std

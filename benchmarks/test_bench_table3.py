@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table III (MAO implementation results).
+
+Purely analytical (no simulation) — the benchmark documents the cost of
+the resource model and asserts exact agreement with the paper.
+"""
+
+import pytest
+
+from repro.experiments import table3_resources
+
+from conftest import show
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_resources(benchmark):
+    rows = benchmark(table3_resources.run)
+    show("Table III", table3_resources.format_table(rows))
+    for row in rows:
+        ref = table3_resources.PAPER_REFERENCE[(row.variant, row.stages)]
+        assert row.luts == ref["luts"]
+        assert row.ffs == ref["ffs"]
+        assert row.bram == ref["bram"]
+        assert row.fmax_mhz == ref["fmax"]
+        assert row.read_latency == ref["rd"]
+        assert row.write_latency == ref["wr"]

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table IV (throughput comparison XLNX vs MAO)."""
+
+import pytest
+
+from repro.experiments import table4_throughput
+from repro.types import Pattern
+
+from conftest import BENCH_CYCLES, show
+
+
+def _regen():
+    return table4_throughput.run(cycles=BENCH_CYCLES)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_throughput(benchmark):
+    rows = benchmark.pedantic(_regen, rounds=1, iterations=1)
+    show("Table IV", table4_throughput.format_table(rows))
+    find = table4_throughput.find
+    ccs = find(rows, Pattern.CCS, "Both")
+    assert ccs.xlnx_gbps == pytest.approx(13.0, rel=0.06)
+    assert ccs.mao_gbps == pytest.approx(414, rel=0.03)
+    assert ccs.speedup > 25
+    rd = find(rows, Pattern.CCS, "RD")
+    assert rd.xlnx_gbps == pytest.approx(9.6, rel=0.06)
+    assert rd.mao_gbps == pytest.approx(307, rel=0.03)
+    ccra = find(rows, Pattern.CCRA, "Both")
+    assert ccra.mao_gbps == pytest.approx(266, rel=0.12)
+    assert 2.5 <= ccra.speedup <= 4.5  # paper: 3.78x

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Table V (accelerator overview).
+
+Measures the accelerators' effective bandwidth on both interconnects and
+rebuilds the whole scaling table; asserts the paper's speedups and the
+feasibility verdicts.
+"""
+
+import pytest
+
+from repro.experiments import table5_accelerators
+from repro.accelerators.scaling import best_feasible
+
+from conftest import BENCH_CYCLES, show
+
+
+def _regen():
+    return table5_accelerators.run(cycles=BENCH_CYCLES)
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_accelerators(benchmark):
+    rows, bw = benchmark.pedantic(_regen, rounds=1, iterations=1)
+    show("Table V", table5_accelerators.format_table((rows, bw)))
+    # Measured bandwidths (paper: 12.55 / 403.75 and 9.59 / ~273-307).
+    assert bw.a_xlnx_gbps == pytest.approx(12.55, rel=0.08)
+    assert bw.a_mao_gbps == pytest.approx(403.75, rel=0.05)
+    assert bw.b_xlnx_gbps == pytest.approx(9.59, rel=0.10)
+    assert 260 <= bw.b_mao_gbps <= 320
+
+    def row(name, p):
+        return next(r for r in rows
+                    if r.accelerator.endswith(name) and r.p == p)
+
+    # Accelerator A speedups over the P=4-no-MAO baseline.
+    assert row("A", 8).su_mao == pytest.approx(18.4, rel=0.08)
+    assert row("A", 32).su_mao == pytest.approx(248.2, rel=0.08)
+    # Feasibility: A tops out at P=8; B's P=32 fits easily.
+    assert not row("A", 16).fits_core_mao
+    assert row("B", 32).fits_core_mao
+    best = best_feasible(rows)
+    assert best.accelerator.endswith("A") and best.p == 8

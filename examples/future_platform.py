@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""What-if study: future HBM FPGAs and custom interconnect tuning.
+
+The paper's conclusion points forward: "future FPGAs with more HBM
+stacks and therefore a higher memory throughput would make it possible
+to increase Ccomp even further".  Because every platform parameter here
+is data, that future device is one constructor call away:
+
+1. scale the platform to 64 pseudo-channels (four stacks) and re-run the
+   adder-tree accelerator's Roofline,
+2. sweep the MAO's interleave granularity (an ablation of design choice
+   #2) to show why 512 B — one maximal AXI burst — is the sweet spot,
+3. sweep the accelerator clock to reproduce the frequency/ratio trade-off
+   of Sec. IV-A at a what-if 450 MHz.
+
+Run:  python examples/future_platform.py [--cycles 5000]
+"""
+
+import argparse
+
+from repro import make_fabric, gbps
+from repro.accelerators import AcceleratorB
+from repro.accelerators.base import AcceleratorConfig
+from repro.core.mao import MaoConfig
+from repro.fabric import MaoFabric
+from repro.params import HbmPlatform
+from repro.sim import Engine, SimConfig
+from repro.traffic import make_pattern_sources
+from repro.types import FabricKind, Pattern, RWRatio
+
+
+def run_ccs(platform, fabric, cycles):
+    src = make_pattern_sources(Pattern.CCS, platform,
+                               address_map=fabric.address_map)
+    cfg = SimConfig(cycles=cycles, warmup=cycles // 4)
+    return Engine(fabric, src, cfg).run()
+
+
+def future_device(cycles: int) -> None:
+    print("Step 1 — a four-stack, 64-channel future device:")
+    future = HbmPlatform(num_pch=64, pch_capacity=256 * 1024 * 1024)
+    for platform, label in ((HbmPlatform(), "today (2 stacks)"),
+                            (future, "future (4 stacks)")):
+        fab = MaoFabric(platform)
+        rep = run_ccs(platform, fab, cycles)
+        peak = gbps(platform.device_peak_bytes_per_s)
+        model = AcceleratorB(AcceleratorConfig(p=32))
+        attainable = model.attainable_gops(rep.total_gbps)
+        print(f"  {label:<18}: peak {peak:6.1f} GB/s, measured "
+              f"{rep.total_gbps:6.1f} GB/s -> accelerator B @P=32 "
+              f"attains {attainable:5.0f} GOPS")
+    print("  -> more stacks raise the memory ceiling; B's adder trees can "
+          "scale with them.\n")
+
+
+def interleave_ablation(cycles: int) -> None:
+    print("Step 2 — MAO interleave-granularity ablation (CCS, BL16):")
+    platform = HbmPlatform()
+    for gran in (512, 4096, 65536, 1 << 20):
+        fab = MaoFabric(platform, config=MaoConfig(interleave_granularity=gran))
+        rep = run_ccs(platform, fab, cycles)
+        print(f"  granularity {gran:>8} B: {rep.total_gbps:7.1f} GB/s "
+              f"({rep.active_pchs()} channels active)")
+    fab = MaoFabric(platform, config=MaoConfig(interleave_enabled=False))
+    rep = run_ccs(platform, fab, cycles)
+    print(f"  no interleaving     : {rep.total_gbps:7.1f} GB/s "
+          f"({rep.active_pchs()} channel) — the hot-spot returns")
+    print("  -> coarse interleaving localizes small working sets onto few "
+          "channels; disabling it reintroduces the hot-spot.\n")
+
+
+def clock_sweep(cycles: int) -> None:
+    print("Step 3 — frequency vs. read/write-ratio compensation (SCS):")
+    for hz, rw in ((300_000_000, RWRatio(1, 0)),
+                   (300_000_000, RWRatio(2, 1)),
+                   (450_000_000, RWRatio(1, 0))):
+        platform = HbmPlatform(accel_clock_hz=hz)
+        fab = make_fabric(FabricKind.XLNX, platform)
+        src = make_pattern_sources(Pattern.SCS, platform, rw=rw,
+                                   address_map=fab.address_map)
+        rep = Engine(fab, src,
+                     SimConfig(cycles=cycles, warmup=cycles // 4)).run()
+        print(f"  {hz / 1e6:3.0f} MHz @ {str(rw):>4}: "
+              f"{rep.total_gbps:7.1f} GB/s")
+    print("  -> a 2:1 ratio at 300 MHz matches the bandwidth of a "
+          "hard-to-close 450 MHz unidirectional design (Sec. IV-A).")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=5_000)
+    args = parser.parse_args()
+    future_device(args.cycles)
+    interleave_ablation(args.cycles)
+    clock_sweep(args.cycles)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Graph analytics on HBM: the paper's motivating random-access case.
+
+Sec. II motivates global addressing with "graph algorithms where data
+anywhere in the memory might be accessed".  This example builds a real
+graph workload end to end:
+
+1. store a synthetic power-law graph (CSR adjacency) in the functional
+   HBM model, once under the vendor's contiguous map and once under the
+   MAO's interleaved map — same logical data, different physical layout,
+2. run a breadth-first search against both memories and verify identical
+   results (the remap is transparent to software),
+3. replay the BFS's *memory access trace* shape (random ≤512 B reads over
+   the whole device = the paper's CCRA pattern) through the cycle
+   simulator on both interconnects and report the speedup.
+
+Run:  python examples/graph_workload.py [--nodes 20000] [--cycles 6000]
+"""
+
+import argparse
+from collections import deque
+
+import numpy as np
+
+from repro import make_fabric
+from repro.core.address_map import ContiguousMap, InterleavedMap
+from repro.memory import HbmMemory
+from repro.sim import Engine, SimConfig
+from repro.traffic import make_pattern_sources
+from repro.types import FabricKind, Pattern, RWRatio
+
+
+def build_graph(nodes: int, seed: int = 0):
+    """A synthetic scale-free-ish directed graph in CSR form."""
+    rng = np.random.default_rng(seed)
+    # Preferential-attachment flavoured degree distribution.
+    degrees = np.minimum(rng.zipf(2.0, size=nodes), 64)
+    indptr = np.zeros(nodes + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(degrees)
+    targets = rng.integers(0, nodes, size=int(indptr[-1]), dtype=np.int64)
+    return indptr, targets
+
+
+def bfs_on_hbm(mem: HbmMemory, nodes: int, indptr_addr: int,
+               targets_addr: int, root: int = 0) -> np.ndarray:
+    """Breadth-first search reading the CSR arrays from HBM."""
+    dist = np.full(nodes, -1, dtype=np.int64)
+    dist[root] = 0
+    frontier = deque([root])
+    while frontier:
+        u = frontier.popleft()
+        lo, hi = mem.read_array(indptr_addr + 8 * u, (2,), np.int64)
+        if hi > lo:
+            neigh = mem.read_array(targets_addr + 8 * lo, (hi - lo,),
+                                   np.int64)
+            for v in neigh:
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    frontier.append(v)
+    return dist
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=20_000)
+    parser.add_argument("--cycles", type=int, default=6_000)
+    args = parser.parse_args()
+
+    indptr, targets = build_graph(args.nodes)
+    print(f"Graph: {args.nodes} nodes, {len(targets)} edges (CSR)")
+
+    # --- functional layer: same software view on both physical layouts ---
+    results = {}
+    for name, amap in (("contiguous", ContiguousMap()),
+                       ("interleaved", InterleavedMap())):
+        mem = HbmMemory(amap)
+        indptr_addr, targets_addr = 0, 8 * len(indptr)
+        mem.write_array(indptr_addr, indptr)
+        mem.write_array(targets_addr, targets)
+        dist = bfs_on_hbm(mem, args.nodes, indptr_addr, targets_addr)
+        results[name] = dist
+        reached = int((dist >= 0).sum())
+        print(f"  BFS over {name:>11} layout: {reached} nodes reached, "
+              f"{len(mem.touched_pchs())} pseudo-channels hold data")
+    assert np.array_equal(results["contiguous"], results["interleaved"]), \
+        "the address remap must be transparent to software"
+    print("  -> identical BFS results: the MAO remap is software-invisible\n")
+
+    # --- performance layer: the access pattern is CCRA ---
+    print("Replaying the random-access pattern through the cycle simulator:")
+    measured = {}
+    for fabric in (FabricKind.XLNX, FabricKind.MAO):
+        fab = make_fabric(fabric)
+        src = make_pattern_sources(Pattern.CCRA, burst_len=16,
+                                   rw=RWRatio(8, 1), seed=1)
+        rep = Engine(fab, src, SimConfig(cycles=args.cycles,
+                                         warmup=args.cycles // 4)).run()
+        measured[fabric] = rep.total_gbps
+        print(f"  {fabric.value:>5}: {rep.total_gbps:7.1f} GB/s  "
+              f"(read latency {rep.read_latency.mean:7.1f} ± "
+              f"{rep.read_latency.std:.1f} cycles)")
+    speedup = measured[FabricKind.MAO] / measured[FabricKind.XLNX]
+    print(f"\n  -> the MAO speeds up the graph traversal's memory system "
+          f"{speedup:.1f}x (paper's CCRA speedup: 3.78x)")
+
+
+if __name__ == "__main__":
+    main()

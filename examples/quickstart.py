@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: measure HBM access patterns and get design guidance.
+
+Reproduces the paper's core observation in under a minute: the same
+globally-contiguous access pattern (CCS) runs at ~13 GB/s through the
+vendor switch fabric — no better than plain DDR4 — and at ~414 GB/s
+through the Memory Access Optimizer, because the MAO interleaves
+addresses over all 32 pseudo-channels and removes the lateral-bus
+bottlenecks.
+
+Run:  python examples/quickstart.py [--cycles 8000]
+"""
+
+import argparse
+
+from repro import gbps, quick_measure, DEFAULT_PLATFORM
+from repro.core.estimator import BandwidthEstimator, EstimateInputs
+from repro.core.guidelines import DesignDescription, evaluate_guidelines
+from repro.types import FabricKind, Pattern, TWO_TO_ONE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=8_000,
+                        help="simulation horizon in 450 MHz fabric cycles")
+    args = parser.parse_args()
+
+    peak = gbps(DEFAULT_PLATFORM.device_peak_bytes_per_s)
+    print(f"Platform: 32 HBM pseudo-channels, theoretical peak {peak:.1f} GB/s")
+    print(f"Accelerator clock 300 MHz, AXI3 bursts of 16 x 32 B\n")
+
+    # 1. Estimate before building anything (the paper's methodology).
+    est = BandwidthEstimator()
+    print("Step 1 — analytical estimates for contiguous (CCS) data:")
+    for fabric in (FabricKind.XLNX, FabricKind.MAO):
+        e = est.estimate(EstimateInputs(fabric=fabric, pattern=Pattern.CCS,
+                                        rw=TWO_TO_ONE))
+        print(f"  {fabric.value:>5}: {e.total_gbps:7.1f} GB/s "
+              f"(bottleneck: {e.bottleneck}, {e.nch_eff} channels used)")
+
+    # 2. Measure with the cycle simulator.
+    print("\nStep 2 — cycle-level measurement of the same pattern:")
+    for fabric in (FabricKind.XLNX, FabricKind.MAO):
+        rep = quick_measure(Pattern.CCS, fabric, cycles=args.cycles)
+        print(f"  {fabric.value:>5}: {rep.total_gbps:7.1f} GB/s   "
+              f"read latency {rep.read_latency.mean:7.1f} ± "
+              f"{rep.read_latency.std:.1f} cycles   "
+              f"({rep.active_pchs()} channels active)")
+
+    # 3. Ask the guideline advisor why.
+    print("\nStep 3 — the design guidelines derived from the analysis:")
+    design = DesignDescription(pattern=Pattern.CCS, fabric=FabricKind.XLNX)
+    for finding in evaluate_guidelines(design):
+        print(f"  {finding}")
+
+    print("\nConclusion: interleave your data (or drop in the MAO) before "
+          "scaling compute.")
+
+
+if __name__ == "__main__":
+    main()

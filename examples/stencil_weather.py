@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Weather-model stencil on HBM — the NERO-style application study.
+
+The paper's related work motivates HBM FPGAs with NERO, a near-HBM
+stencil accelerator for weather prediction.  This example applies the
+full methodology to that workload class:
+
+1. run a 5-point horizontal-diffusion sweep functionally (validated
+   against numpy) with the grid stored in interleaved HBM,
+2. measure the stencil's 1:1 read/write stream on both interconnects,
+3. place the design on the Roofline and predict the sweep time — then
+   check the prediction against the measured bandwidth.
+
+Stencils have OpI = 1.25 OPS/B, far below any matmul, so *nothing* but
+effective memory bandwidth matters: the MAO speeds the whole application
+up by the full bandwidth ratio.
+
+Run:  python examples/stencil_weather.py [--grid 512] [--cycles 5000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import make_fabric
+from repro.accelerators import (StencilAccelerator, make_accelerator_sources,
+                                stencil_reference, stencil_sweep)
+from repro.accelerators.base import AcceleratorConfig
+from repro.core.address_map import InterleavedMap
+from repro.memory import HbmMemory
+from repro.sim import Engine, SimConfig
+from repro.types import FabricKind
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid", type=int, default=512)
+    parser.add_argument("--cycles", type=int, default=5_000)
+    args = parser.parse_args()
+    n = args.grid
+
+    # 1. Functional sweep with the grid living in HBM.
+    rng = np.random.default_rng(0)
+    grid = rng.normal(15.0, 8.0, size=(n, n)).astype(np.float32)  # °C field
+    mem = HbmMemory(InterleavedMap())
+    mem.write_array(0, grid)
+    loaded = mem.read_array(0, (n, n), np.float32)
+    coeffs = (0.6, 0.1, 0.1, 0.1, 0.1)
+    out, stats = stencil_sweep(loaded, coeffs, iterations=2)
+    ref = stencil_reference(stencil_reference(grid, coeffs), coeffs)
+    assert np.allclose(out, ref, rtol=1e-5)
+    mem.write_array(0, out)
+    print(f"2 diffusion sweeps over a {n}x{n} float32 field: OK "
+          f"(counted OpI {stats.operational_intensity:.2f} OPS/B, "
+          f"{len(mem.touched_pchs())} channels hold the grid)\n")
+
+    # 2. Measure the 1:1 stream on both interconnects.
+    model = StencilAccelerator(AcceleratorConfig(p=32, matrix_n=n))
+    print(f"stencil core: {model.num_pipes} pipelines, "
+          f"Ccomp {model.compute_ceiling_gops:.0f} GFLOPS, OpI "
+          f"{model.operational_intensity:.2f}")
+    measured = {}
+    for kind in (FabricKind.XLNX, FabricKind.MAO):
+        fab = make_fabric(kind)
+        src = make_accelerator_sources(model)
+        rep = Engine(fab, src, SimConfig(cycles=args.cycles,
+                                         warmup=args.cycles // 4)).run()
+        measured[kind] = rep.total_gbps
+        perf = model.attainable_gops(rep.total_gbps)
+        sweep_ms = (model.cycle_estimate(rep.total_gbps)
+                    / model.config.accel_clock_hz * 1e3)
+        bound = "memory" if model.is_memory_bound(rep.total_gbps) else "compute"
+        print(f"  {kind.value:>5}: {rep.total_gbps:6.1f} GB/s -> "
+              f"{perf:6.1f} GFLOPS ({bound}-bound), "
+              f"{sweep_ms:.3f} ms per sweep")
+
+    ratio = measured[FabricKind.MAO] / measured[FabricKind.XLNX]
+    print(f"\n-> the whole application speeds up {ratio:.1f}x with the MAO — "
+          "for OpI this low,\n   effective bandwidth IS application "
+          "performance, which is the paper's thesis.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Reproduction of *Fast HBM Access with FPGAs: Analysis, Architectures,
+and Applications* (Holzinger, Reiser, Hahn, Reichenbach — IPDPSW 2021).
+
+The package models a Xilinx Virtex UltraScale+ HBM FPGA platform at cycle
+level, implements the paper's Memory Access Optimizer (MAO) IP core, and
+provides the Roofline-based estimation methodology plus the experiment
+harness that regenerates every table and figure of the paper's evaluation.
+
+Layering (bottom up):
+
+* :mod:`repro.params`, :mod:`repro.types` — platform description.
+* :mod:`repro.dram`, :mod:`repro.axi` — memory and protocol substrates.
+* :mod:`repro.fabric` — segmented (vendor), MAO, and ideal interconnects.
+* :mod:`repro.traffic` — the paper's access patterns.
+* :mod:`repro.sim` — the cycle engine and statistics.
+* :mod:`repro.core` — MAO configuration, address interleaving, reorder
+  buffers, analytical estimator, design guidelines (the contribution).
+* :mod:`repro.roofline`, :mod:`repro.accelerators`, :mod:`repro.resources`
+  — the evaluation methodology of Sec. V.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import quick_measure
+    from repro.types import Pattern, FabricKind
+
+    report = quick_measure(Pattern.CCS, FabricKind.MAO)
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .params import HbmPlatform, DEFAULT_PLATFORM, DramTiming, FabricTiming, gbps
+from .types import Direction, FabricKind, Pattern, RWRatio, TWO_TO_ONE
+from .errors import (
+    ReproError, ConfigError, AxiProtocolError, AddressError,
+    RoutingError, SimulationError, ResourceError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HbmPlatform", "DEFAULT_PLATFORM", "DramTiming", "FabricTiming", "gbps",
+    "Direction", "FabricKind", "Pattern", "RWRatio", "TWO_TO_ONE",
+    "ReproError", "ConfigError", "AxiProtocolError", "AddressError",
+    "RoutingError", "SimulationError", "ResourceError",
+    "make_fabric", "quick_measure", "__version__",
+]
+
+
+def make_fabric(kind: FabricKind,
+                platform: HbmPlatform = DEFAULT_PLATFORM,
+                **kwargs):
+    """Construct a fabric model by kind.
+
+    ``kwargs`` are forwarded to the fabric constructor (e.g. ``config=``
+    for a custom :class:`~repro.core.mao.MaoConfig`).
+    """
+    from .fabric import SegmentedFabric, MaoFabric, IdealFabric
+    if kind is FabricKind.XLNX:
+        return SegmentedFabric(platform, **kwargs)
+    if kind is FabricKind.MAO:
+        return MaoFabric(platform, **kwargs)
+    if kind is FabricKind.IDEAL:
+        return IdealFabric(platform, **kwargs)
+    raise ConfigError(f"unknown fabric kind {kind!r}")
+
+
+def quick_measure(
+    pattern: Pattern,
+    fabric_kind: FabricKind = FabricKind.XLNX,
+    *,
+    burst_len: int = 16,
+    rw: RWRatio = TWO_TO_ONE,
+    cycles: int = 12_000,
+    platform: HbmPlatform = DEFAULT_PLATFORM,
+    outstanding: int = 32,
+    seed: int = 0,
+):
+    """Measure one Table I pattern on one fabric — the 30-second API.
+
+    Returns a :class:`~repro.sim.stats.SimReport`.
+    """
+    from .sim import Engine, SimConfig
+    from .traffic import make_pattern_sources
+    fabric = make_fabric(fabric_kind, platform)
+    sources = make_pattern_sources(
+        pattern, platform, burst_len=burst_len, rw=rw,
+        address_map=fabric.address_map, seed=seed)
+    cfg = SimConfig(cycles=cycles, warmup=min(cycles // 4, 3000),
+                    outstanding=outstanding)
+    return Engine(fabric, sources, cfg).run()

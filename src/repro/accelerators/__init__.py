@@ -1,0 +1,54 @@
+"""The two matrix-multiplication accelerators of Sec. V.
+
+* **Accelerator A** (:mod:`repro.accelerators.matmul_a`) — a systolic
+  PE array of dimension 16P x 16P that keeps one input tile resident and
+  streams the other input and the output (read/write ratio 2:1).
+* **Accelerator B** (:mod:`repro.accelerators.matmul_b`) — P adder trees
+  with local buffers for partial sums; only one matrix is re-streamed and
+  only final results are written (ratio Mh:1, effectively read-only).
+
+Both come with
+
+* a **functional dataflow simulation** validated against numpy (int8
+  matrices, int32 accumulation),
+* an **analytical model** reproducing the paper's OpI / Ccomp / Util
+  formulas (Table V),
+* a **memory-traffic source** so the cycle simulator can *measure* the
+  accelerator's achievable bandwidth on any fabric — the measured points
+  of Fig. 7.
+"""
+
+from .base import AcceleratorModel, AcceleratorConfig
+from .matmul_a import AcceleratorA, systolic_matmul
+from .matmul_a_linear import AcceleratorALinear, broadcast_systolic_matmul
+from .matmul_b import AcceleratorB, adder_tree_matmul
+from .scaling import TableVRow, build_table_v, ACCEL_A_PS, ACCEL_B_PS
+from .spmv import (SpmvAccelerator, SpmvTrafficSource, csr_spmv,
+                   make_spmv_sources, synthetic_csr)
+from .stencil import StencilAccelerator, stencil_sweep, stencil_reference
+from .traffic import AcceleratorTrafficSource, make_accelerator_sources
+
+__all__ = [
+    "AcceleratorModel",
+    "AcceleratorConfig",
+    "AcceleratorA",
+    "AcceleratorALinear",
+    "broadcast_systolic_matmul",
+    "AcceleratorB",
+    "StencilAccelerator",
+    "SpmvAccelerator",
+    "SpmvTrafficSource",
+    "csr_spmv",
+    "make_spmv_sources",
+    "synthetic_csr",
+    "stencil_sweep",
+    "stencil_reference",
+    "systolic_matmul",
+    "adder_tree_matmul",
+    "TableVRow",
+    "build_table_v",
+    "ACCEL_A_PS",
+    "ACCEL_B_PS",
+    "AcceleratorTrafficSource",
+    "make_accelerator_sources",
+]

@@ -1,0 +1,80 @@
+"""Common interface of the accelerator models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..params import ACCEL_CLOCK_HZ
+from ..resources.fpga import ResourceVector
+from ..types import RWRatio
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Scaling configuration of one accelerator instance.
+
+    ``p`` is the number of HBM bus-master ports, which the paper uses as
+    the degree of compute parallelization ("P directly corresponds to the
+    degree of compute parallelization").
+    """
+
+    p: int = 4
+    accel_clock_hz: int = ACCEL_CLOCK_HZ
+    matrix_n: int = 4096
+    """Problem size N (square N x N int8 matrices)."""
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ConfigError("P must be >= 1")
+        if self.matrix_n < 1:
+            raise ConfigError("matrix_n must be >= 1")
+
+
+class AcceleratorModel(ABC):
+    """Analytical model of one accelerator (Table V columns)."""
+
+    name: str = "accelerator"
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+
+    # -- Table V quantities --------------------------------------------------
+
+    @property
+    @abstractmethod
+    def operational_intensity(self) -> float:
+        """OpI in OPS per byte of external traffic."""
+
+    @property
+    @abstractmethod
+    def compute_ceiling_gops(self) -> float:
+        """Ccomp: peak operations per second of the datapath."""
+
+    @property
+    @abstractmethod
+    def rw_ratio(self) -> RWRatio:
+        """Concurrent read:write transaction ratio of the dataflow."""
+
+    @property
+    @abstractmethod
+    def core_resources(self) -> ResourceVector:
+        """FPGA resources of the core (without interconnect)."""
+
+    # -- derived ------------------------------------------------------------------
+
+    def attainable_gops(self, bandwidth_gbps: float) -> float:
+        """Roofline-attainable performance at a memory bandwidth."""
+        memory_bound = self.operational_intensity * bandwidth_gbps
+        ceiling = self.compute_ceiling_gops
+        return ceiling if ceiling < memory_bound else memory_bound
+
+    def is_memory_bound(self, bandwidth_gbps: float) -> bool:
+        return (self.operational_intensity * bandwidth_gbps
+                < self.compute_ceiling_gops)
+
+    def describe(self) -> str:
+        return (f"{self.name} (P={self.config.p}): OpI "
+                f"{self.operational_intensity:.1f} OPS/B, Ccomp "
+                f"{self.compute_ceiling_gops:,.0f} GOPS, RW {self.rw_ratio}")

@@ -1,0 +1,147 @@
+"""Accelerator A: systolic PE-array matrix multiplication (Sec. V).
+
+A 16P x 16P array of int8 MAC processing elements.  One D x D tile of the
+first input matrix is loaded into the PEs' local registers; the second
+input and the output matrix are then streamed continuously (paper:
+"initially loads data from one input matrix into local memory inside its
+PEs. Afterwards it continuously streams data from the second input and
+output matrices and back to memory").
+
+Per tile pass over matrices of size N x N (D = 16P):
+
+* operations: ``2 D² N`` (D² MACs per streamed column, N columns),
+* external traffic: ``D²`` (load tile) + ``D N`` (stream second input)
+  + ``2 D N`` (read + write the output partials) bytes of int8 data,
+* read:write ratio 2:1 (two streamed reads per write).
+
+Hence ``OpI = 2 D² N / (D² + 3 D N)`` — which evaluates to the paper's
+Table V values 42 / 84 / 167 / 328 for P = 4 / 8 / 16 / 32 at N = 4096 —
+and ``Ccomp = 2 D² f_acc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..resources.fpga import ResourceVector
+from ..types import RWRatio
+from .base import AcceleratorConfig, AcceleratorModel
+
+#: PEs per port-count unit, per side: the array is (16 P) x (16 P).
+PE_SIDE_PER_P = 16
+
+#: Calibrated LUTs per int8 MAC PE (core utilization 14 % at P=4 on the
+#: XCVU37P, Table V).
+LUTS_PER_PE = 44.56
+
+#: FFs per PE (pipeline registers, weight register).
+FFS_PER_PE = 64.0
+
+
+@dataclass
+class DataflowStats:
+    """Traffic/operation counts of one functional dataflow run."""
+
+    macs: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def operational_intensity(self) -> float:
+        return 2.0 * self.macs / self.total_bytes if self.total_bytes else 0.0
+
+
+class AcceleratorA(AcceleratorModel):
+    """Analytical model of the systolic-array accelerator."""
+
+    name = "accelerator-A"
+
+    @property
+    def array_dim(self) -> int:
+        return PE_SIDE_PER_P * self.config.p
+
+    @property
+    def operational_intensity(self) -> float:
+        d = self.array_dim
+        n = self.config.matrix_n
+        return 2.0 * d * d * n / (d * d + 3.0 * d * n)
+
+    @property
+    def compute_ceiling_gops(self) -> float:
+        d = self.array_dim
+        return 2.0 * d * d * self.config.accel_clock_hz / 1e9
+
+    @property
+    def rw_ratio(self) -> RWRatio:
+        return RWRatio(2, 1)
+
+    @property
+    def core_resources(self) -> ResourceVector:
+        pes = self.array_dim ** 2
+        return ResourceVector(
+            luts=int(round(LUTS_PER_PE * pes)),
+            ffs=int(round(FFS_PER_PE * pes)),
+            bram36=8 * self.config.p,
+        )
+
+    def cycle_estimate(self, bandwidth_gbps: float) -> float:
+        """Cycles for one full N x N matmul at a memory bandwidth.
+
+        Each tile pass needs ``N`` compute cycles and moves
+        ``D² + 3 D N`` bytes; passes execute back to back, with the slower
+        of compute and memory dominating.
+        """
+        if bandwidth_gbps <= 0:
+            raise ConfigError("bandwidth must be positive")
+        d = self.array_dim
+        n = self.config.matrix_n
+        passes = (n / d) ** 2
+        bytes_per_pass = d * d + 3.0 * d * n
+        mem_cycles = (bytes_per_pass * self.config.accel_clock_hz
+                      / (bandwidth_gbps * 1e9))
+        return passes * max(float(n), mem_cycles)
+
+
+def systolic_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    tile: int,
+) -> Tuple[np.ndarray, DataflowStats]:
+    """Functional simulation of accelerator A's dataflow.
+
+    Computes ``a @ b`` for int8 inputs with int32 accumulation using the
+    exact tiling/residency scheme of the accelerator, counting external
+    traffic.  The returned stats let tests verify the analytical OpI
+    formula against counted bytes.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ConfigError("incompatible matrix shapes")
+    if a.shape[0] % tile or a.shape[1] % tile or b.shape[1] % tile:
+        raise ConfigError("matrix dimensions must be multiples of the tile")
+    n_i, n_k = a.shape
+    n_j = b.shape[1]
+    a32 = a.astype(np.int32)
+    b32 = b.astype(np.int32)
+    c = np.zeros((n_i, n_j), dtype=np.int32)
+    stats = DataflowStats()
+    for i0 in range(0, n_i, tile):
+        for k0 in range(0, n_k, tile):
+            # Load the A tile into the PE array (resident weights).
+            a_tile = a32[i0:i0 + tile, k0:k0 + tile]
+            stats.bytes_read += tile * tile  # int8 elements
+            # Stream B rows and the C partials.
+            b_strip = b32[k0:k0 + tile, :]
+            stats.bytes_read += tile * n_j          # B stream (int8)
+            stats.bytes_read += tile * n_j          # C partial read-back
+            c[i0:i0 + tile, :] += a_tile @ b_strip
+            stats.bytes_written += tile * n_j       # C partial write
+            stats.macs += tile * tile * n_j
+    return c, stats

@@ -1,0 +1,135 @@
+"""Accelerator A-linear: the paper's future-work variant.
+
+Sec. V closes with: "For Accelerator A the design could be optimized to
+better exploit the available throughput with a smaller design, for
+example by applying a local buffer structure to redistribute values and
+scale the PE array linearly."  This module implements that suggestion:
+
+* the PE array is ``P`` slices of a fixed ``SLICE_DIM x SLICE_DIM`` tile
+  stacked vertically (total ``64 P x 64`` PEs — resources grow
+  **linearly** with P instead of quadratically),
+* a local broadcast buffer distributes each streamed column of the
+  second input to *all* slices, so the stream is fetched once regardless
+  of P ("redistribute values"),
+* compute: ``Ccomp = 2 x 4096 P x f_acc`` — the same 2,458 GOPS baseline
+  at P=4 as accelerator A, at a quarter of the area growth.
+
+The trade-off the model exposes: operational intensity saturates at
+``~2 x SLICE_DIM = 128`` OPS/B as P grows (the A-tile and C-stream
+traffic now scale with P), so the variant tops out against the memory
+ceiling — but it gets much further up the roofline per LUT, which is
+exactly why the paper suggests it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..resources.fpga import ResourceVector
+from ..types import RWRatio
+from .base import AcceleratorModel
+from .matmul_a import DataflowStats, LUTS_PER_PE, FFS_PER_PE
+
+#: Side length of one PE slice (a P=4 instance matches accelerator A).
+SLICE_DIM = 64
+
+
+class AcceleratorALinear(AcceleratorModel):
+    """Linearly scaled systolic accelerator with broadcast buffers."""
+
+    name = "accelerator-A-linear"
+
+    @property
+    def rows(self) -> int:
+        """PE rows: P slices of SLICE_DIM stacked vertically."""
+        return SLICE_DIM * self.config.p // 4
+
+    @property
+    def cols(self) -> int:
+        return SLICE_DIM
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def operational_intensity(self) -> float:
+        """Per pass over N columns: ops = 2 * rows * cols * N; traffic =
+        rows*cols (A tile) + cols*N (B stream, broadcast once) +
+        2*rows*N (C read+write)."""
+        r, c, n = self.rows, self.cols, self.config.matrix_n
+        ops = 2.0 * r * c * n
+        traffic = r * c + c * n + 2.0 * r * n
+        return ops / traffic
+
+    @property
+    def compute_ceiling_gops(self) -> float:
+        return 2.0 * self.num_pes * self.config.accel_clock_hz / 1e9
+
+    @property
+    def rw_ratio(self) -> RWRatio:
+        # B stream + C read : C write — still read-heavy, roughly 2:1
+        # once rows >> cols/N ratios settle.
+        return RWRatio(2, 1)
+
+    @property
+    def core_resources(self) -> ResourceVector:
+        return ResourceVector(
+            luts=int(round(LUTS_PER_PE * self.num_pes)),
+            ffs=int(round(FFS_PER_PE * self.num_pes)),
+            # The redistribution buffers are the price of linear scaling:
+            # one B-column buffer per slice.
+            bram36=8 * self.config.p + 2 * (self.rows // SLICE_DIM),
+        )
+
+    def cycle_estimate(self, bandwidth_gbps: float) -> float:
+        if bandwidth_gbps <= 0:
+            raise ConfigError("bandwidth must be positive")
+        r, c, n = self.rows, self.cols, self.config.matrix_n
+        passes = (n / r) * (n / c)
+        bytes_per_pass = r * c + c * n + 2.0 * r * n
+        mem_cycles = (bytes_per_pass * self.config.accel_clock_hz
+                      / (bandwidth_gbps * 1e9))
+        return passes * max(float(n), mem_cycles)
+
+
+def broadcast_systolic_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    slice_dim: int = 16,
+    slices: int = 4,
+) -> Tuple[np.ndarray, DataflowStats]:
+    """Functional simulation of the linear variant's dataflow.
+
+    The resident tile is ``(slice_dim * slices) x slice_dim`` of ``a``;
+    each streamed ``b`` column is broadcast through the local buffers to
+    every slice, so it is counted once.  Int8 inputs, int32 accumulation.
+    """
+    rows_t = slice_dim * slices
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ConfigError("incompatible matrix shapes")
+    if a.shape[0] % rows_t or a.shape[1] % slice_dim or b.shape[1] % slice_dim:
+        raise ConfigError("matrix dimensions must match the tile geometry")
+    n_i, n_k = a.shape
+    n_j = b.shape[1]
+    a32 = a.astype(np.int32)
+    b32 = b.astype(np.int32)
+    c = np.zeros((n_i, n_j), dtype=np.int32)
+    stats = DataflowStats()
+    for i0 in range(0, n_i, rows_t):
+        for k0 in range(0, n_k, slice_dim):
+            a_tile = a32[i0:i0 + rows_t, k0:k0 + slice_dim]
+            stats.bytes_read += rows_t * slice_dim       # A tile (int8)
+            b_strip = b32[k0:k0 + slice_dim, :]
+            stats.bytes_read += slice_dim * n_j          # B broadcast once
+            stats.bytes_read += rows_t * n_j             # C partial read
+            # The broadcast buffer hands the same b_strip to every slice.
+            for s in range(slices):
+                rows = slice(s * slice_dim, (s + 1) * slice_dim)
+                c[i0:i0 + rows_t, :][rows] += a_tile[rows] @ b_strip
+                stats.macs += slice_dim * slice_dim * n_j
+            stats.bytes_written += rows_t * n_j          # C partial write
+    return c, stats

@@ -1,0 +1,137 @@
+"""Accelerator B: adder-tree matrix multiplication (Sec. V).
+
+P adder trees, each consuming one 256-bit HBM word (32 int8 values) per
+cycle.  Rows of the first matrix and the partial sums live in local
+buffers; the second matrix is streamed ("it keeps parts of one input
+matrix as well as partial sums in local memory. This saves memory
+bandwidth as only one matrix has to be reloaded and only final results
+need to be written back").
+
+* operations: 2 MACs per streamed value, so the peak is
+  ``P x (2 x 32 - 1) x f_acc x eta`` with a pipeline-refill efficiency
+  ``eta = 0.9`` — the paper's 68 / 137 / 274 / 547 GOPS,
+* traffic: the streamed matrix is read once per resident row block, so
+  for one-row blocks the total traffic approaches ``N³`` bytes and
+  ``OpI = 2`` regardless of P (the paper: "OpI only depends on the matrix
+  size therefore does not change with P"),
+* reads dominate writes by ``Mh : 1`` (one output row written per full
+  matrix streamed).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..resources.fpga import ResourceVector
+from ..types import RWRatio
+from .base import AcceleratorConfig, AcceleratorModel
+from .matmul_a import DataflowStats
+
+#: Values consumed per adder tree per cycle (one 256-bit word of int8).
+TREE_WIDTH = 32
+
+#: Pipeline-refill efficiency between dot-product rows.
+TREE_EFFICIENCY = 0.9
+
+#: Calibrated LUTs per adder tree incl. buffers (core utilization 3 % at
+#: P=4 on the XCVU37P, Table V).
+LUTS_PER_TREE = 9_778
+
+#: FFs per adder tree.
+FFS_PER_TREE = 14_000
+
+
+class AcceleratorB(AcceleratorModel):
+    """Analytical model of the adder-tree accelerator."""
+
+    name = "accelerator-B"
+
+    @property
+    def num_trees(self) -> int:
+        return self.config.p
+
+    @property
+    def operational_intensity(self) -> float:
+        # 2 N³ ops over ~N³ streamed bytes; the exact value with the
+        # resident-row and output traffic included:
+        n = self.config.matrix_n
+        ops = 2.0 * n ** 3
+        traffic = float(n) ** 3 + 2.0 * n * n  # stream + A rows + C out
+        return ops / traffic
+
+    @property
+    def compute_ceiling_gops(self) -> float:
+        ops_per_cycle = self.num_trees * (2 * TREE_WIDTH - 1) * TREE_EFFICIENCY
+        return ops_per_cycle * self.config.accel_clock_hz / 1e9
+
+    @property
+    def rw_ratio(self) -> RWRatio:
+        # Mh : 1 with Mh >> 2 — one output row per streamed matrix.
+        return RWRatio(min(self.config.matrix_n, 64), 1)
+
+    @property
+    def core_resources(self) -> ResourceVector:
+        return ResourceVector(
+            luts=LUTS_PER_TREE * self.num_trees,
+            ffs=FFS_PER_TREE * self.num_trees,
+            bram36=12 * self.num_trees,
+        )
+
+    def cycle_estimate(self, bandwidth_gbps: float) -> float:
+        """Cycles for one full N x N matmul at a memory bandwidth."""
+        if bandwidth_gbps <= 0:
+            raise ConfigError("bandwidth must be positive")
+        n = self.config.matrix_n
+        total_values = float(n) ** 3  # streamed int8 values
+        compute_cycles = total_values / (self.num_trees * TREE_WIDTH
+                                         * TREE_EFFICIENCY)
+        mem_cycles = (total_values * self.config.accel_clock_hz
+                      / (bandwidth_gbps * 1e9))
+        return max(compute_cycles, mem_cycles)
+
+
+def adder_tree_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    tree_width: int = TREE_WIDTH,
+) -> Tuple[np.ndarray, DataflowStats]:
+    """Functional simulation of accelerator B's dataflow.
+
+    Computes ``a @ b`` row by row: each row of ``a`` is resident while the
+    whole of ``b`` streams through the adder trees in
+    ``tree_width``-value chunks, reduced by explicit binary trees (not a
+    numpy dot), with int32 accumulation.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ConfigError("incompatible matrix shapes")
+    n_i, n_k = a.shape
+    n_j = b.shape[1]
+    if n_k % tree_width:
+        raise ConfigError("inner dimension must be a multiple of tree width")
+    a32 = a.astype(np.int32)
+    b32 = b.astype(np.int32)
+    c = np.zeros((n_i, n_j), dtype=np.int32)
+    stats = DataflowStats()
+    for i in range(n_i):
+        row = a32[i]
+        stats.bytes_read += n_k  # resident row load (int8)
+        # Stream B fully; each tree reduces one chunk per "cycle".
+        for k0 in range(0, n_k, tree_width):
+            products = row[k0:k0 + tree_width, None] * b32[k0:k0 + tree_width, :]
+            stats.bytes_read += tree_width * n_j
+            stats.macs += tree_width * n_j
+            # Explicit binary-tree reduction (what the adder tree does).
+            width = tree_width
+            level = products
+            while width > 1:
+                half = width // 2
+                level = level[:half] + level[half:half * 2] if width % 2 == 0 \
+                    else np.concatenate([level[:half] + level[half:2 * half],
+                                         level[2 * half:]], axis=0)
+                width = level.shape[0]
+            c[i] += level[0]
+        stats.bytes_written += n_j  # final row write-back
+    return c, stats

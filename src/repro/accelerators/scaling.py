@@ -1,0 +1,107 @@
+"""Table V: the accelerator scaling overview.
+
+For P in {4, 8, 16, 32} and both accelerators, compute OpI, Ccomp, the
+FPGA utilization with and without the MAO, and the Roofline speedups over
+the P=4-without-MAO baseline — given the measured (or estimated)
+effective bandwidths of the two interconnects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Type
+
+from ..core.mao import MaoConfig, MaoVariant
+from ..resources.fpga import XCVU37P, FpgaDevice
+from ..resources.mao_resources import MaoResourceModel
+from ..types import RWRatio
+from .base import AcceleratorConfig, AcceleratorModel
+from .matmul_a import AcceleratorA
+from .matmul_b import AcceleratorB
+
+#: The port counts Table V evaluates.
+ACCEL_A_PS = (4, 8, 16, 32)
+ACCEL_B_PS = (4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class TableVRow:
+    """One column of the paper's Table V (one accelerator configuration)."""
+
+    accelerator: str
+    p: int
+    opi: float
+    ccomp_gops: float
+    rw_ratio: RWRatio
+    util_core: float
+    util_core_mao: float
+    fits_core_mao: bool
+    perf_hbm_gops: float
+    perf_mao_gops: float
+    su_hbm: float
+    su_mao: float
+
+    def formatted(self) -> str:
+        fits = "" if self.fits_core_mao else "  [exceeds device]"
+        return (f"{self.accelerator} P={self.p:<3} OpI {self.opi:>6.1f}  "
+                f"Ccomp {self.ccomp_gops:>9,.0f} GOPS  "
+                f"Util {self.util_core:>5.0%}/{self.util_core_mao:>5.0%}  "
+                f"SU {self.su_hbm:>5.1f}x/{self.su_mao:>6.1f}x{fits}")
+
+
+def build_table_v(
+    bw_xlnx_gbps_a: float,
+    bw_mao_gbps_a: float,
+    bw_xlnx_gbps_b: float,
+    bw_mao_gbps_b: float,
+    *,
+    matrix_n: int = 4096,
+    device: FpgaDevice = XCVU37P,
+    mao_config: Optional[MaoConfig] = None,
+) -> List[TableVRow]:
+    """Compute every Table V row from the four measured bandwidths.
+
+    The speedup baseline is each accelerator's P=4 configuration on the
+    plain (XLNX) interconnect, exactly as in the paper.
+    """
+    # The paper's Table V "Core+MAO" utilization uses the Full variant
+    # (21.9 % LUTs on top of the core).
+    mao_res = MaoResourceModel(device).estimate(
+        mao_config or MaoConfig(variant=MaoVariant.FULL, stages=1))
+    rows: List[TableVRow] = []
+    for cls, ps, bw_x, bw_m in (
+        (AcceleratorA, ACCEL_A_PS, bw_xlnx_gbps_a, bw_mao_gbps_a),
+        (AcceleratorB, ACCEL_B_PS, bw_xlnx_gbps_b, bw_mao_gbps_b),
+    ):
+        baseline = cls(AcceleratorConfig(p=ps[0], matrix_n=matrix_n))
+        base_perf = baseline.attainable_gops(bw_x)
+        for p in ps:
+            model = cls(AcceleratorConfig(p=p, matrix_n=matrix_n))
+            core = model.core_resources
+            util_core = device.utilization(core)["luts"]
+            with_mao = core + mao_res.resources
+            util_mao = device.utilization(with_mao)["luts"]
+            perf_x = model.attainable_gops(bw_x)
+            perf_m = model.attainable_gops(bw_m)
+            rows.append(TableVRow(
+                accelerator=model.name,
+                p=p,
+                opi=model.operational_intensity,
+                ccomp_gops=model.compute_ceiling_gops,
+                rw_ratio=model.rw_ratio,
+                util_core=util_core,
+                util_core_mao=util_mao,
+                fits_core_mao=device.fits(with_mao),
+                perf_hbm_gops=perf_x,
+                perf_mao_gops=perf_m,
+                su_hbm=perf_x / base_perf,
+                su_mao=perf_m / base_perf,
+            ))
+    return rows
+
+
+def best_feasible(rows: List[TableVRow]) -> TableVRow:
+    """Highest-performing configuration that fits the device (the paper's
+    design-selection step: A's P=8 and B's P=32)."""
+    feasible = [r for r in rows if r.fits_core_mao]
+    return max(feasible, key=lambda r: r.perf_mao_gops)

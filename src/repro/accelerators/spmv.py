@@ -1,0 +1,229 @@
+"""Sparse matrix-vector multiplication (SpMV) on HBM.
+
+The paper's Table I spans two extremes — perfectly strided (S) and fully
+random (RA) access.  Real irregular workloads live in between: an SpMV
+gathers ``x[col]`` at the column indices of the sparse matrix, so its
+randomness is set by the matrix's *bandwidth* (how far columns stray from
+the diagonal).  This module makes that interpolation concrete:
+
+* :func:`csr_spmv` — functional CSR SpMV with explicit gathers, counting
+  external traffic (validated against ``A @ x``),
+* :func:`synthetic_csr` — banded random matrices whose ``locality``
+  parameter sweeps the gather footprint from one row buffer to the whole
+  device,
+* :class:`SpmvAccelerator` — the analytical model (OpI ≈ 0.15 OPS/B:
+  even more bandwidth-hungry than the stencil),
+* :class:`SpmvTrafficSource` — *index-driven* traffic: the gather
+  addresses replayed into the cycle simulator come from an actual
+  synthetic matrix, so the measured bandwidth responds to the matrix
+  structure exactly as the estimator's S/RA extremes predict.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..axi.transaction import AxiTransaction
+from ..errors import ConfigError
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+from ..resources.fpga import ResourceVector
+from ..types import Direction, RWRatio
+from .base import AcceleratorModel
+from .matmul_a import DataflowStats
+
+#: MAC lanes per HBM port.
+LANES_PER_PORT = 8
+
+#: Calibrated resources per lane (float32 MAC + gather bookkeeping).
+LUTS_PER_LANE = 3_800
+FFS_PER_LANE = 5_600
+BRAM_PER_LANE = 2
+DSP_PER_LANE = 5
+
+
+def synthetic_csr(
+    n: int,
+    nnz_per_row: int = 16,
+    locality: float = 0.01,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A banded random CSR matrix.
+
+    ``locality`` is the band half-width as a fraction of ``n``: 0.001
+    keeps gathers inside a few rows of the diagonal (strided-ish), 1.0
+    scatters them over the whole vector (the CCRA extreme).
+    """
+    if n < 1 or nnz_per_row < 1:
+        raise ConfigError("matrix must have at least one row and nonzero")
+    if not 0.0 < locality <= 1.0:
+        raise ConfigError("locality must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    half = max(1, int(locality * n))
+    rows = np.repeat(np.arange(n), nnz_per_row)
+    offsets = rng.integers(-half, half + 1, size=rows.size)
+    cols = np.clip(rows + offsets, 0, n - 1)
+    # CSR wants sorted unique columns per row; duplicates are fine for the
+    # traffic model but the functional kernel sums them, so keep them.
+    indptr = np.arange(0, rows.size + 1, nnz_per_row, dtype=np.int64)
+    data = rng.normal(size=rows.size).astype(np.float32)
+    return indptr, cols.astype(np.int64), data
+
+
+def csr_spmv(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    x: np.ndarray,
+) -> Tuple[np.ndarray, DataflowStats]:
+    """Functional CSR SpMV with per-element gathers and traffic counts."""
+    n = len(indptr) - 1
+    if len(x) < indices.max(initial=-1) + 1:
+        raise ConfigError("vector shorter than the widest column index")
+    y = np.zeros(n, dtype=np.float32)
+    stats = DataflowStats()
+    x32 = x.astype(np.float32)
+    d32 = data.astype(np.float32)
+    for i in range(n):
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        cols = indices[lo:hi]
+        gathered = x32[cols]                     # the gather
+        y[i] = np.dot(d32[lo:hi], gathered)
+        stats.macs += hi - lo
+        stats.bytes_read += (hi - lo) * 8        # value + index stream
+        stats.bytes_read += (hi - lo) * 4        # gathered x elements
+    stats.bytes_read += (n + 1) * 8              # row pointers
+    stats.bytes_written += n * 4                 # y
+    return y, stats
+
+
+class SpmvAccelerator(AcceleratorModel):
+    """Analytical model of a gather-based SpMV engine."""
+
+    name = "spmv"
+
+    @property
+    def num_lanes(self) -> int:
+        return LANES_PER_PORT * self.config.p
+
+    @property
+    def operational_intensity(self) -> float:
+        # 2 flops per nonzero over 12 streamed bytes plus amortized
+        # pointers/outputs — the gather makes every byte count.
+        return 2.0 / 12.0
+
+    @property
+    def compute_ceiling_gops(self) -> float:
+        return 2.0 * self.num_lanes * self.config.accel_clock_hz / 1e9
+
+    @property
+    def rw_ratio(self) -> RWRatio:
+        return RWRatio(8, 1)
+
+    @property
+    def core_resources(self) -> ResourceVector:
+        n = self.num_lanes
+        return ResourceVector(
+            luts=LUTS_PER_LANE * n,
+            ffs=FFS_PER_LANE * n,
+            bram36=BRAM_PER_LANE * n,
+            dsp=DSP_PER_LANE * n,
+        )
+
+    def cycle_estimate(self, bandwidth_gbps: float) -> float:
+        if bandwidth_gbps <= 0:
+            raise ConfigError("bandwidth must be positive")
+        nnz = float(self.config.matrix_n) * 16  # default density
+        compute_cycles = nnz / self.num_lanes
+        traffic = nnz * 12.0
+        mem_cycles = traffic * self.config.accel_clock_hz / (bandwidth_gbps * 1e9)
+        return max(compute_cycles, mem_cycles)
+
+
+class SpmvTrafficSource:
+    """Index-driven SpMV memory traffic for the cycle simulator.
+
+    Per master: an 8:1 mix of streamed reads (values/indices, sequential)
+    and gather reads whose addresses come from a synthetic matrix's
+    column indices — so matrix ``locality`` directly controls how
+    channel-parallel the gathers are under a given address map.
+    """
+
+    #: One gather beat-read per this many streamed bursts, approximating
+    #: the byte mix (16-beat value/index bursts vs 32 B gathers).
+    GATHERS_PER_STREAM = 4
+
+    def __init__(
+        self,
+        master: int,
+        indices: np.ndarray,
+        platform: HbmPlatform = DEFAULT_PLATFORM,
+        x_base: Optional[int] = None,
+        burst_len: int = 16,
+    ) -> None:
+        self.master = master
+        self.platform = platform
+        self.burst_len = burst_len
+        #: The dense vector sits in the second half of the device.
+        self.x_base = (platform.total_capacity // 2 if x_base is None
+                       else x_base)
+        # Row-block partitioning: each master owns a contiguous slice of
+        # rows (the standard SpMV decomposition), so with a banded matrix
+        # each master's gathers stay in its own region of the vector.
+        n_masters = platform.num_masters
+        chunk = max(1, len(indices) // n_masters)
+        lo = master * chunk
+        hi = len(indices) if master == n_masters - 1 else lo + chunk
+        self._indices = indices[lo:hi]
+        if len(self._indices) == 0:
+            raise ConfigError("no indices for this master")
+        self._gather_ptr = 0
+        self._stream_ptr = 0
+        self._phase = 0
+        self._stream_base = master * (platform.total_capacity
+                                      // (2 * n_masters))
+        self._write_ptr = 0
+        self.generated = 0
+
+    def next_txn(self, cycle: int) -> Optional[AxiTransaction]:
+        self.generated += 1
+        phase = self._phase
+        self._phase = (phase + 1) % (self.GATHERS_PER_STREAM + 2)
+        if phase < self.GATHERS_PER_STREAM:
+            # Gather: one beat at x_base + 4 * col, beat-aligned.
+            col = int(self._indices[self._gather_ptr])
+            self._gather_ptr = (self._gather_ptr + 1) % len(self._indices)
+            addr = self.x_base + 4 * col
+            addr -= addr % 32
+            return AxiTransaction(self.master, Direction.READ, addr, 1,
+                                  validate=False)
+        if phase == self.GATHERS_PER_STREAM:
+            # Stream burst: values + indices, sequential.
+            addr = self._stream_base + self._stream_ptr
+            self._stream_ptr = (self._stream_ptr + self.burst_len * 32) \
+                % (self.platform.total_capacity // (2 * self.platform.num_masters))
+            return AxiTransaction(self.master, Direction.READ, addr,
+                                  self.burst_len, validate=False)
+        # Output write-back (rare).
+        addr = self._stream_base + self._write_ptr
+        self._write_ptr = (self._write_ptr + 32) % (1 << 20)
+        return AxiTransaction(self.master, Direction.WRITE, addr, 1,
+                              validate=False)
+
+
+def make_spmv_sources(
+    locality: float,
+    platform: HbmPlatform = DEFAULT_PLATFORM,
+    n: int = 1 << 20,
+    nnz_per_row: int = 16,
+    seed: int = 0,
+):
+    """Sources for all masters, driven by one synthetic matrix.
+
+    ``n`` defaults to 2^20 rows so the gathered vector (4 MB) spans many
+    interleave periods; ``locality`` then dials the gather footprint.
+    """
+    _indptr, indices, _data = synthetic_csr(n, nnz_per_row, locality, seed)
+    return [SpmvTrafficSource(m, indices, platform)
+            for m in range(platform.num_masters)]

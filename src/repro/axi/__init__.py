@@ -1,0 +1,19 @@
+"""AXI3 transaction and bus-master port models.
+
+The HBM pseudo-channels are exposed to the programmable logic as 256-bit
+AXI3 ports; the accelerator's bus masters (BMs) talk AXI3 to the
+interconnect.  This package models the protocol-level objects:
+
+* :class:`~repro.axi.transaction.AxiTransaction` — a single read or write
+  burst (1..16 beats of 32 B).
+* :class:`~repro.axi.master.MasterPort` — one bus master's AXI port,
+  including outstanding-transaction credits and the accelerator-side clock
+  pacing.
+"""
+
+from .transaction import AxiTransaction, check_burst_legal
+from .master import MasterPort
+from .splitter import split_request, split_and_validate
+
+__all__ = ["AxiTransaction", "check_burst_legal", "MasterPort",
+           "split_request", "split_and_validate"]

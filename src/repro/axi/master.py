@@ -1,0 +1,110 @@
+"""Bus-master (BM) port model.
+
+A bus master wraps a traffic source and issues its transactions into the
+fabric, modeling the two accelerator-side constraints the paper analyzes:
+
+* **clock pacing** — the accelerator runs at 300 MHz while the HBM ports
+  run at 450 MHz; a master can move at most one beat per *accelerator*
+  cycle per direction.  Issuing a write costs ``burst_len`` accelerator
+  cycles of the data channel, issuing a read address costs one.
+* **outstanding-transaction credits** (``Not`` in the paper) — "accelerators
+  must always have multiple active AXI transactions on every bus to
+  prefetch data" (Sec. IV-A).  The credit count bounds in-flight
+  transactions; the paper's *Single* latency scenario uses 1, the *Burst*
+  scenario 32.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..axi.transaction import AxiTransaction
+from ..params import HbmPlatform
+
+
+class TrafficSource(Protocol):
+    """Protocol for per-master transaction generators."""
+
+    def next_txn(self, cycle: int) -> Optional[AxiTransaction]:
+        """Produce the next transaction, or ``None`` when (currently)
+        exhausted.  Implementations must set ``master``/``direction``/
+        ``address``/``burst_len``."""
+        ...
+
+
+class MasterPort:
+    """One accelerator bus master attached to the fabric."""
+
+    __slots__ = ("index", "platform", "source", "outstanding_limit",
+                 "outstanding", "next_issue", "_staged", "issued", "completed",
+                 "read_issued", "write_issued", "exhausted")
+
+    def __init__(
+        self,
+        index: int,
+        platform: HbmPlatform,
+        source: TrafficSource,
+        outstanding_limit: int = 32,
+    ) -> None:
+        self.index = index
+        self.platform = platform
+        self.source = source
+        self.outstanding_limit = outstanding_limit
+        self.outstanding = 0
+        #: Accelerator-clock pacing meter, in fabric cycles.
+        self.next_issue: float = 0.0
+        self._staged: Optional[AxiTransaction] = None
+        self.issued = 0
+        self.completed = 0
+        self.read_issued = 0
+        self.write_issued = 0
+        #: The source returned None at least once (finite workloads).
+        self.exhausted = False
+
+    # -- simulation ----------------------------------------------------------
+
+    def step(self, cycle: int, fabric) -> None:
+        """Issue as many transactions as credits and pacing allow."""
+        ratio = self.platform.clock_ratio
+        while (self.outstanding < self.outstanding_limit
+               and self.next_issue <= cycle):
+            txn = self._staged
+            if txn is None:
+                txn = self.source.next_txn(cycle)
+                if txn is None:
+                    self.exhausted = True
+                    return
+            if not fabric.submit(txn, cycle):
+                # Ingress backpressure: retry the same transaction later.
+                self._staged = txn
+                return
+            self._staged = None
+            self.outstanding += 1
+            self.issued += 1
+            if txn.is_write:
+                self.write_issued += 1
+                cost = txn.burst_len / ratio
+            else:
+                self.read_issued += 1
+                cost = 1.0 / ratio
+            # Keep fractional pacing credit across cycle boundaries (the
+            # issue check is integer-cycle, the budget is fractional);
+            # only a genuinely idle port resets its meter.
+            base = (self.next_issue if self.next_issue > cycle - 1.0
+                    else float(cycle))
+            self.next_issue = base + cost
+
+    def on_complete(self, txn: AxiTransaction, cycle: int) -> None:
+        """Called by the engine when one of this master's transactions
+        finishes (last read beat / write response)."""
+        self.outstanding -= 1
+        self.completed += 1
+        if self.outstanding < 0:
+            from ..errors import SimulationError
+            raise SimulationError(
+                f"master {self.index} completed more transactions than issued")
+
+    @property
+    def idle(self) -> bool:
+        """No credit in use and no staged retry."""
+        return self.outstanding == 0 and self._staged is None

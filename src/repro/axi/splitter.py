@@ -1,0 +1,94 @@
+"""Splitting arbitrary requests into AXI3-legal bursts.
+
+Real masters rarely issue perfectly sized accesses: a DMA descriptor or a
+cache line fill may start unaligned and span kilobytes.  The hardware in
+front of the HBM ports (and the MAO's ingress stage) slices such requests
+into INCR bursts that
+
+* move at most 16 beats (AXI3),
+* never cross a 4 KB address boundary,
+* optionally never cross an address-interleave chunk, so every burst
+  lands on exactly one pseudo-channel.
+
+:func:`split_request` implements that slicing; the property tests verify
+exact coverage, ordering, and legality for arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import AxiProtocolError
+from ..params import BYTES_PER_BEAT, MAX_BURST_LEN
+from .transaction import check_burst_legal
+
+_AXI_BOUNDARY = 4096
+_MAX_BURST_BYTES = MAX_BURST_LEN * BYTES_PER_BEAT
+
+
+def split_request(
+    address: int,
+    num_bytes: int,
+    *,
+    chunk: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Slice ``[address, address + num_bytes)`` into legal AXI3 bursts.
+
+    Returns ``(burst_address, burst_len)`` pairs in address order.  The
+    request is first widened to beat granularity (a partial first/last
+    beat still moves a full 32 B beat with byte strobes, exactly as AXI
+    does), then cut at every 4 KB boundary, every ``chunk`` boundary if
+    given (e.g. the MAO's interleave granularity), and every 16 beats.
+
+    Raises :class:`~repro.errors.AxiProtocolError` for empty or negative
+    requests, or a chunk that is not a positive beat multiple.
+    """
+    if num_bytes <= 0:
+        raise AxiProtocolError(f"request of {num_bytes} bytes")
+    if address < 0:
+        raise AxiProtocolError(f"negative address {address:#x}")
+    if chunk is not None and (chunk < BYTES_PER_BEAT or chunk % BYTES_PER_BEAT):
+        raise AxiProtocolError(
+            f"chunk must be a positive multiple of {BYTES_PER_BEAT} B")
+
+    # Widen to beat granularity.
+    start = address - address % BYTES_PER_BEAT
+    end = address + num_bytes
+    if end % BYTES_PER_BEAT:
+        end += BYTES_PER_BEAT - end % BYTES_PER_BEAT
+
+    bursts: List[Tuple[int, int]] = []
+    pos = start
+    while pos < end:
+        limit = end
+        # Cut at the next 4 KB boundary.
+        next_4k = (pos // _AXI_BOUNDARY + 1) * _AXI_BOUNDARY
+        if next_4k < limit:
+            limit = next_4k
+        # Cut at the next interleave chunk boundary.
+        if chunk is not None:
+            next_chunk = (pos // chunk + 1) * chunk
+            if next_chunk < limit:
+                limit = next_chunk
+        # Cut at the burst-length cap.
+        if pos + _MAX_BURST_BYTES < limit:
+            limit = pos + _MAX_BURST_BYTES
+        burst_len = (limit - pos) // BYTES_PER_BEAT
+        bursts.append((pos, burst_len))
+        pos = limit
+    return bursts
+
+
+def split_and_validate(address: int, num_bytes: int,
+                       chunk: Optional[int] = None) -> List[Tuple[int, int]]:
+    """Like :func:`split_request` but re-checks every burst against the
+    protocol validator (used by tests and defensive callers)."""
+    bursts = split_request(address, num_bytes, chunk=chunk)
+    for addr, bl in bursts:
+        check_burst_legal(addr, bl)
+    return bursts
+
+
+def covered_bytes(bursts: List[Tuple[int, int]]) -> int:
+    """Total bytes the burst list moves."""
+    return sum(bl * BYTES_PER_BEAT for _a, bl in bursts)

@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the Memory Access Optimizer (MAO).
+
+The MAO is an IP core inserted between the accelerator's bus masters and
+the HBM AXI ports (the "Memory Access area" of Fig. 1).  It implements the
+three architectural adaptions of Sec. IV-B:
+
+1. a **hierarchical distribution network** replacing the lateral switch
+   connections (:mod:`repro.fabric.mao_fabric`),
+2. a **configurable address interleaving** so consecutive addresses spread
+   over all pseudo-channels (:mod:`repro.core.address_map`),
+3. **reorder buffers** near the bus masters that accept out-of-order
+   responses early (:mod:`repro.core.reorder`).
+
+This package also contains the analytical effective-bandwidth estimator
+(:mod:`repro.core.estimator`) and the design-guideline advisor
+(:mod:`repro.core.guidelines`) derived from the paper's analysis.
+"""
+
+from .address_map import AddressMap, ContiguousMap, InterleavedMap
+from .mao import MaoConfig, MaoVariant
+from .reorder import ReorderBuffer
+from .estimator import BandwidthEstimator, EstimateInputs, Estimate
+from .guidelines import Guideline, evaluate_guidelines
+
+__all__ = [
+    "AddressMap",
+    "ContiguousMap",
+    "InterleavedMap",
+    "MaoConfig",
+    "MaoVariant",
+    "ReorderBuffer",
+    "BandwidthEstimator",
+    "EstimateInputs",
+    "Estimate",
+    "Guideline",
+    "evaluate_guidelines",
+]

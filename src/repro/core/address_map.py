@@ -1,0 +1,161 @@
+"""Global-address-to-pseudo-channel mapping schemes.
+
+The Xilinx HBM controller maps "the memory capacity of every PCH
+contiguously into successive sections of the global address space"
+(Sec. II), so a buffer copied linearly into HBM lands entirely in one PCH
+and every master contends for it — the *hot-spot* pattern of Fig. 3b.
+
+The MAO's second architectural adaption (Sec. IV-B) changes this scheme so
+data is *interleaved* between the PCHs: consecutive ``granularity``-byte
+chunks rotate over all channels, so a contiguous access stream
+automatically touches every channel.
+
+Both maps are bijections between global addresses and ``(pch, local)``
+pairs; the property tests verify this.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import AddressError, ConfigError
+from ..params import BYTES_PER_BEAT, HbmPlatform, DEFAULT_PLATFORM
+
+
+class AddressMap(ABC):
+    """Bijection between global byte addresses and per-PCH local addresses."""
+
+    def __init__(self, platform: HbmPlatform = DEFAULT_PLATFORM) -> None:
+        self.platform = platform
+
+    @property
+    def capacity(self) -> int:
+        return self.platform.total_capacity
+
+    def check(self, address: int) -> None:
+        if not 0 <= address < self.capacity:
+            raise AddressError(
+                f"address {address:#x} outside HBM capacity {self.capacity:#x}")
+
+    @abstractmethod
+    def pch_of(self, address: int) -> int:
+        """Pseudo-channel holding the byte at ``address``."""
+
+    @abstractmethod
+    def local_of(self, address: int) -> int:
+        """Local (within-PCH) byte offset of ``address``."""
+
+    @abstractmethod
+    def global_of(self, pch: int, local: int) -> int:
+        """Inverse mapping: global address of ``(pch, local)``."""
+
+    def decompose(self, address: int) -> tuple[int, int]:
+        """Return ``(pch, local)`` for a global address."""
+        return self.pch_of(address), self.local_of(address)
+
+    def pchs_of_burst(self, address: int, num_bytes: int) -> set[int]:
+        """All PCHs a ``num_bytes``-long access starting at ``address``
+        touches.  AXI bursts are at most 512 B, far below any sensible
+        interleave granularity, so in practice this is a single channel —
+        but the helper exists for validation."""
+        step = BYTES_PER_BEAT
+        return {self.pch_of(a) for a in range(address, address + num_bytes, step)}
+
+
+class ContiguousMap(AddressMap):
+    """The Xilinx default: each PCH owns a contiguous address slice.
+
+    ``pch = address // pch_capacity``.  This is what makes naively copied
+    CPU buffers collapse onto a single channel (Sec. II, third drawback).
+    """
+
+    def pch_of(self, address: int) -> int:
+        self.check(address)
+        return address // self.platform.pch_capacity
+
+    def local_of(self, address: int) -> int:
+        self.check(address)
+        return address % self.platform.pch_capacity
+
+    def global_of(self, pch: int, local: int) -> int:
+        cap = self.platform.pch_capacity
+        if not 0 <= pch < self.platform.num_pch:
+            raise AddressError(f"PCH {pch} out of range")
+        if not 0 <= local < cap:
+            raise AddressError(f"local offset {local:#x} out of range")
+        return pch * cap + local
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ContiguousMap()"
+
+
+@dataclass(frozen=True)
+class _InterleaveGeometry:
+    granularity: int
+    num_pch: int
+
+    @property
+    def period(self) -> int:
+        """Bytes of global address space per full rotation over all PCHs
+        (16 KB for 32 channels at 512 B granularity — the lower knee of
+        the paper's Fig. 5)."""
+        return self.granularity * self.num_pch
+
+
+class InterleavedMap(AddressMap):
+    """MAO address interleaving: ``granularity``-byte chunks rotate over PCHs.
+
+    ``pch = (address // granularity) % num_pch``; the local offset packs the
+    master's chunks densely:
+    ``local = (address // period) * granularity + address % granularity``.
+
+    The default granularity of 512 B equals the largest AXI3 burst
+    (16 beats x 32 B), so a maximal burst never straddles two channels while
+    consecutive bursts land on consecutive channels.
+    """
+
+    DEFAULT_GRANULARITY = 512
+
+    def __init__(
+        self,
+        platform: HbmPlatform = DEFAULT_PLATFORM,
+        granularity: int = DEFAULT_GRANULARITY,
+    ) -> None:
+        super().__init__(platform)
+        if granularity < BYTES_PER_BEAT or granularity % BYTES_PER_BEAT:
+            raise ConfigError(
+                f"interleave granularity must be a positive multiple of "
+                f"{BYTES_PER_BEAT} B, got {granularity}")
+        if platform.pch_capacity % granularity:
+            raise ConfigError("granularity must divide the PCH capacity")
+        self.geometry = _InterleaveGeometry(granularity, platform.num_pch)
+
+    @property
+    def granularity(self) -> int:
+        return self.geometry.granularity
+
+    @property
+    def period(self) -> int:
+        return self.geometry.period
+
+    def pch_of(self, address: int) -> int:
+        self.check(address)
+        return (address // self.geometry.granularity) % self.geometry.num_pch
+
+    def local_of(self, address: int) -> int:
+        self.check(address)
+        g = self.geometry.granularity
+        return (address // self.geometry.period) * g + address % g
+
+    def global_of(self, pch: int, local: int) -> int:
+        g = self.geometry.granularity
+        if not 0 <= pch < self.platform.num_pch:
+            raise AddressError(f"PCH {pch} out of range")
+        if not 0 <= local < self.platform.pch_capacity:
+            raise AddressError(f"local offset {local:#x} out of range")
+        chunk, offset = divmod(local, g)
+        return chunk * self.geometry.period + pch * g + offset
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InterleavedMap(granularity={self.granularity})"

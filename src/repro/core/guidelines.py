@@ -1,0 +1,161 @@
+"""Design-guideline advisor derived from the paper's analysis.
+
+Sec. IV distills the measurements into rules a designer "always needs to
+consider when dealing with HBM".  This module encodes them as checkable
+rules over an accelerator description, so the library can warn about the
+exact pitfalls the paper measured:
+
+1. a reduced clock must be compensated by a concurrent read/write ratio
+   (Fig. 2),
+2. bursts must be long enough to amortize command handling (Fig. 3),
+3. enough transactions must be outstanding to cover the round trip,
+4. accesses must spread over all channels at every point in time
+   (Fig. 3b/3d) — interleave or partition,
+5. lateral routing should be avoided or minimized (Fig. 4, Table II),
+6. random patterns need reordering freedom (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+from ..types import FabricKind, Pattern, RWRatio
+
+
+class Severity(enum.Enum):
+    OK = "ok"
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Guideline:
+    """One finding of the advisor."""
+
+    rule: str
+    severity: Severity
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity.value.upper():8s}] {self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class DesignDescription:
+    """What the advisor needs to know about an accelerator design."""
+
+    accel_clock_hz: int = 300_000_000
+    rw: RWRatio = RWRatio(2, 1)
+    burst_len: int = 16
+    outstanding: int = 32
+    pattern: Pattern = Pattern.CCS
+    fabric: FabricKind = FabricKind.XLNX
+    uses_interleaving: bool = False
+    latency_sensitive: bool = False
+
+
+def evaluate_guidelines(
+    design: DesignDescription,
+    platform: HbmPlatform = DEFAULT_PLATFORM,
+) -> List[Guideline]:
+    """Check a design against the paper's guidelines."""
+    findings: List[Guideline] = []
+    f = findings.append
+
+    # Rule 1: clock-frequency compensation (Fig. 2).
+    full_rate_hz = platform.fabric_clock_hz
+    ratio = design.accel_clock_hz / full_rate_hz
+    if ratio >= 1.0:
+        f(Guideline("clock", Severity.OK,
+                    "accelerator runs at the full HBM port rate"))
+    elif not (design.rw.read_only or design.rw.write_only):
+        f(Guideline("clock", Severity.OK,
+                    f"reduced clock ({design.accel_clock_hz/1e6:.0f} MHz) is "
+                    f"compensated by the {design.rw} read/write ratio"))
+    else:
+        f(Guideline("clock", Severity.WARNING,
+                    f"unidirectional traffic at {design.accel_clock_hz/1e6:.0f} MHz "
+                    f"caps each port at {ratio:.0%} of the HBM rate; add "
+                    "concurrent reads/writes or raise the clock (Sec. IV-A)"))
+
+    # Rule 2: burst length (Fig. 3).
+    if design.burst_len >= 4:
+        f(Guideline("burst", Severity.OK,
+                    f"burst length {design.burst_len} amortizes command "
+                    "handling and mux dead cycles"))
+    elif design.burst_len == 1:
+        f(Guideline("burst", Severity.CRITICAL,
+                    "burst length 1 halves throughput even for strided "
+                    "patterns (Fig. 3); use >= 4"))
+    else:
+        f(Guideline("burst", Severity.WARNING,
+                    f"burst length {design.burst_len} loses throughput under "
+                    "mixed load/store traffic; prefer >= 4 (Fig. 3)"))
+
+    # Rule 3: outstanding transactions must cover the round trip.
+    # Closed-page read round trip is ~48 accelerator cycles; each
+    # transaction supplies burst_len beats.
+    round_trip_beats = 48
+    covered = design.outstanding * design.burst_len
+    if covered >= round_trip_beats:
+        f(Guideline("outstanding", Severity.OK,
+                    f"{design.outstanding} outstanding x BL{design.burst_len} "
+                    "covers the AXI round trip"))
+    else:
+        f(Guideline("outstanding", Severity.CRITICAL,
+                    f"only {covered} beats in flight; the ~{round_trip_beats}-"
+                    "cycle round trip will stall the bus pipeline (Sec. IV-A)"))
+
+    # Rule 4: channel parallelism (Fig. 3b / 3d).
+    if design.pattern.is_single_channel:
+        f(Guideline("channels", Severity.INFO,
+                    "manual single-channel partitioning: maximal throughput "
+                    "but data must be prepartitioned (and possibly duplicated)"))
+    elif design.uses_interleaving or design.fabric is FabricKind.MAO:
+        f(Guideline("channels", Severity.OK,
+                    "address interleaving spreads contiguous data over all "
+                    "channels"))
+    elif design.pattern.is_random:
+        f(Guideline("channels", Severity.WARNING,
+                    "random global traffic reaches all channels but suffers "
+                    "fabric contention (Fig. 3d); consider the MAO"))
+    else:
+        f(Guideline("channels", Severity.CRITICAL,
+                    "contiguous data under the vendor address map collapses "
+                    "onto one PCH (hot-spot, 2.8 % of peak, Fig. 3b); "
+                    "interleave or partition"))
+
+    # Rule 5: lateral routing (Fig. 4, Table II).
+    if design.fabric is FabricKind.XLNX and not design.pattern.is_single_channel:
+        sev = Severity.WARNING if not design.latency_sensitive else Severity.CRITICAL
+        f(Guideline("lateral", sev,
+                    "cross-channel traffic routes over the lateral switch "
+                    "buses: expect throughput loss (Fig. 4) and high latency "
+                    "variance (Table II); minimize lateral hops or use a "
+                    "hierarchical network"))
+    else:
+        f(Guideline("lateral", Severity.OK, "no lateral routing expected"))
+
+    # Rule 6: reordering for random patterns (Fig. 6).
+    if design.pattern.is_random and design.outstanding < 8:
+        f(Guideline("reorder", Severity.WARNING,
+                    "random patterns need reordering freedom; provide more "
+                    "independent AXI IDs / outstanding transactions (Fig. 6)"))
+    elif design.pattern.is_random:
+        f(Guideline("reorder", Severity.OK,
+                    "sufficient reordering freedom for random access"))
+    return findings
+
+
+def worst_severity(findings: List[Guideline]) -> Severity:
+    """The most severe finding (OK < INFO < WARNING < CRITICAL)."""
+    order = [Severity.OK, Severity.INFO, Severity.WARNING, Severity.CRITICAL]
+    worst = Severity.OK
+    for g in findings:
+        if order.index(g.severity) > order.index(worst):
+            worst = g.severity
+    return worst

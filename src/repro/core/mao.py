@@ -1,0 +1,99 @@
+"""Configuration of the Memory Access Optimizer (MAO) IP core.
+
+The MAO (Sec. IV-B, Table III) is the paper's ready-to-use IP core that
+sits between the accelerator's bus masters and the HBM interface.  It
+combines the three architectural adaptions derived from the analysis:
+
+1. hierarchical distribution network (no lateral bottlenecks),
+2. interleaved address mapping (automatic channel parallelism),
+3. reorder buffers near the bus masters (early out-of-order acceptance).
+
+Four synthesizable variants exist (Table III): *Full* replaces the vendor
+switch fabric entirely, *Partial* reuses the local 4x4 crossbars but
+leaves the lateral connections unused; each comes with one hierarchical
+stage (12-cycle latency) or two (25-cycle read latency).  The paper's
+Table IV measurements use variant four (Partial, two stages).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..params import NUM_PCH
+
+
+class MaoVariant(enum.Enum):
+    """Integration style of the MAO core (Table III)."""
+
+    FULL = "full"
+    """Completely replaces the vendor bus fabric."""
+
+    PARTIAL = "partial"
+    """Keeps the 4x4 local crossbars, leaves lateral connections unused."""
+
+
+@dataclass(frozen=True)
+class MaoConfig:
+    """One MAO build configuration.
+
+    Parameters mirror the knobs of Table III plus the interleaving and
+    reordering parameters swept in Figs. 5 and 6.
+    """
+
+    variant: MaoVariant = MaoVariant.PARTIAL
+    stages: int = 2
+    """Hierarchical distribution stages (1 -> 12-cycle, 2 -> 25-cycle read
+    path in Table III)."""
+
+    num_ports: int = NUM_PCH
+    """Bus-master ports offered (the paper keeps 32 for comparability)."""
+
+    interleave_granularity: int = 512
+    """Address interleaving chunk in bytes; 512 B matches the largest AXI3
+    burst so one burst never straddles channels."""
+
+    reorder_depth: int = 32
+    """Independent AXI IDs per master == reorder-buffer depth (Fig. 6)."""
+
+    interleave_enabled: bool = True
+    """Ablation switch: MAO network without address interleaving."""
+
+    def __post_init__(self) -> None:
+        if self.stages not in (1, 2):
+            raise ConfigError("MAO supports one or two hierarchical stages")
+        if self.num_ports < 1:
+            raise ConfigError("num_ports must be >= 1")
+        if self.reorder_depth < 1:
+            raise ConfigError("reorder_depth must be >= 1")
+        if self.interleave_granularity < 32:
+            raise ConfigError("interleave granularity below one beat")
+
+    # -- latency model (Table III) ---------------------------------------------
+
+    @property
+    def read_latency_cycles(self) -> int:
+        """Read-path core latency in accelerator cycles (Table III)."""
+        return 12 if self.stages == 1 else 25
+
+    @property
+    def write_latency_cycles(self) -> int:
+        """Write-path core latency in accelerator cycles (Table III)."""
+        return 12
+
+    @property
+    def fmax_mhz(self) -> int:
+        """Achievable clock of the configuration (Table III)."""
+        if self.variant is MaoVariant.FULL:
+            return 130 if self.stages == 1 else 150
+        return 350 if self.stages == 1 else 360
+
+    def describe(self) -> str:
+        return (f"MAO {self.variant.value}, {self.stages} stage(s), "
+                f"interleave {self.interleave_granularity} B, "
+                f"reorder depth {self.reorder_depth}")
+
+
+#: The configuration used for the paper's Table IV measurements.
+TABLE_IV_CONFIG = MaoConfig(variant=MaoVariant.PARTIAL, stages=2)

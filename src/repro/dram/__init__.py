@@ -1,0 +1,28 @@
+"""DRAM-side models: banks, pseudo-channels, and memory controllers.
+
+One HBM pseudo-channel (PCH) owns a 64-bit DDR bus to its memory
+subsection; on the Xilinx device every two PCHs share one memory
+controller (MC) that performs the AXI-to-DDR protocol conversion (Fig. 1).
+The timing phenomena the paper measures all live here:
+
+* DRAM **page** (row) latching: accesses to an open page are fast, row
+  changes cost precharge + activate (Sec. IV-A, burst-length analysis);
+* the **bidirectional** DDR data bus: concurrent AXI reads and writes pay
+  bus-turnaround dead time (Fig. 2);
+* **refresh** cycles that remove 7-9 % of the theoretical bandwidth;
+* the AXI-side **multiplexing dead cycles** when the port switches between
+  requesting masters, and the MC **command path** shared by the two PCHs
+  of a controller (what makes burst-length-1 traffic command-bound).
+"""
+
+from .bank import BankSet
+from .pch import PseudoChannel, PchCounters
+from .controller import MemoryController, SchedulerConfig
+
+__all__ = [
+    "BankSet",
+    "PseudoChannel",
+    "PchCounters",
+    "MemoryController",
+    "SchedulerConfig",
+]

@@ -1,0 +1,229 @@
+"""Memory controller: AXI-to-DDR conversion and transaction scheduling.
+
+On the Xilinx device every two pseudo-channels share one memory controller
+(Fig. 1).  The controller model owns
+
+* a shared **request FIFO** (the landing zone of the interconnect),
+* a shared **command path** meter: each transaction occupies it for
+  ``cmd_cycles_per_txn`` cycles, which bounds small-burst transaction rates
+  (the burst-length-1 penalty of Fig. 3),
+* one **scheduler queue per PCH** with an FR-FCFS-style pick inside a
+  bounded reorder ``window``: open-row hits and direction-grouping are
+  preferred, which is how real controllers "more efficiently coalesce
+  accesses and increase DRAM page hits" (Sec. IV-B).
+
+The per-master ``reorder_depth`` models the number of independent AXI IDs
+(and the MAO's reorder buffers): a transaction may only be picked ahead of
+at most ``reorder_depth - 1`` earlier transactions of the *same* master.
+Depth 1 forces strict per-master order — the leftmost point of Fig. 6.
+
+Write responses are *posted*: the B handshake is generated when the write
+is accepted into a scheduler queue (the Xilinx controller acknowledges
+bufferable writes early); flow control still applies because the queues
+are bounded.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..axi.transaction import AxiTransaction
+from ..errors import ConfigError
+from ..params import DramTiming
+from .pch import PseudoChannel
+
+#: Callback signature: (txn, time) for completed read data / accepted write.
+CompletionFn = Callable[[AxiTransaction, float], None]
+#: Callback telling the fabric whether a PCH's response path has space.
+SpaceFn = Callable[[int], bool]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables of the controller's transaction scheduler."""
+
+    window: int = 16
+    """Entries of each PCH queue the scheduler may pick from (the
+    controller-internal reordering Wang et al. configure)."""
+
+    reorder_depth: int = 32
+    """Max per-master out-of-order distance (independent AXI IDs).  This is
+    the x-axis of Fig. 6."""
+
+    queue_capacity: int = 48
+    """Per-PCH scheduler queue depth (backpressure boundary)."""
+
+    request_fifo_capacity: int = 16
+    """Shared landing FIFO depth per controller."""
+
+    horizon: float = 48.0
+    """How many cycles ahead of the data bus the scheduler commits work, so
+    activates overlap with ongoing transfers."""
+
+    hit_bonus: int = 2
+    """Score bonus for open-row hits (FR part of FR-FCFS)."""
+
+    dir_bonus: int = 1
+    """Score bonus for keeping the bus direction (turnaround grouping)."""
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigError("scheduler window must be >= 1")
+        if self.reorder_depth < 1:
+            raise ConfigError("reorder_depth must be >= 1")
+        if self.queue_capacity < self.window:
+            raise ConfigError("queue_capacity must be >= window")
+
+
+class MemoryController:
+    """One memory controller fronting ``len(pchs)`` pseudo-channels."""
+
+    def __init__(
+        self,
+        index: int,
+        pchs: List[PseudoChannel],
+        timing: DramTiming,
+        sched: SchedulerConfig,
+        *,
+        on_read_data: CompletionFn,
+        on_write_accept: CompletionFn,
+        response_space: SpaceFn,
+        mc_latency: int = 0,
+    ) -> None:
+        self.index = index
+        self.pchs = pchs
+        self.timing = timing
+        self.sched = sched
+        self.on_read_data = on_read_data
+        self.on_write_accept = on_write_accept
+        self.response_space = response_space
+        self.mc_latency = mc_latency
+        #: Shared command-path meter.
+        self.cmd_free: float = 0.0
+        #: Per-PCH scheduler queues (txns with .pch/.local already set).
+        self.queues: List[List[AxiTransaction]] = [[] for _ in pchs]
+        #: Pending read-data events: (exit_time, seq, txn, local_pch_idx).
+        self._pending: List[tuple] = []
+        self._seq = 0
+        self.accepts = 0
+
+    # -- fabric-facing -------------------------------------------------------
+
+    def local_index(self, pch: int) -> int:
+        for i, p in enumerate(self.pchs):
+            if p.index == pch:
+                return i
+        raise ConfigError(f"PCH {pch} not fronted by MC {self.index}")
+
+    def try_accept(self, txn: AxiTransaction, cycle: int) -> bool:
+        """Accept a transaction into its PCH scheduler queue.
+
+        Returns ``False`` (backpressure) when the queue is full; the fabric
+        leaves the flit in its landing FIFO and retries next cycle.
+        """
+        li = self.local_index(txn.pch)
+        q = self.queues[li]
+        if len(q) >= self.sched.queue_capacity:
+            return False
+        txn.accept_cycle = cycle
+        q.append(txn)
+        self.accepts += 1
+        if txn.is_write:
+            # Posted write: B response on acceptance into the queue.
+            self.on_write_accept(txn, float(cycle))
+        return True
+
+    # -- simulation ----------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self._schedule(cycle)
+        self._deliver_read_data(cycle)
+
+    def _schedule(self, cycle: int) -> None:
+        s = self.sched
+        for li, pch in enumerate(self.pchs):
+            q = self.queues[li]
+            while q and pch.ready_for_service(cycle, s.horizon):
+                idx = self._pick(q, pch, cycle)
+                if idx is None:
+                    break
+                txn = q.pop(idx)
+                start, exit_time = pch.service(txn, cycle, self.cmd_free)
+                base = float(cycle) if cycle > self.cmd_free else self.cmd_free
+                self.cmd_free = base + self.timing.cmd_cycles_per_txn
+                if txn.is_read:
+                    self._seq += 1
+                    heapq.heappush(
+                        self._pending,
+                        (exit_time + self.mc_latency, self._seq, txn, li))
+
+    def _pick(self, q: List[AxiTransaction], pch: PseudoChannel,
+              cycle: int) -> Optional[int]:
+        """FR-FCFS-style pick inside the reorder window.
+
+        Returns the queue index to service, or ``None`` if nothing is
+        eligible (e.g. the response path is full for every candidate read,
+        or both direction gates are exhausted).
+        """
+        s = self.sched
+        banks = pch.banks
+        last_dir = pch.last_dir
+        best_idx: Optional[int] = None
+        best_score = -1
+        limit = min(len(q), s.window)
+        # The per-master order constraint can only bind when a master may
+        # have more than ``reorder_depth`` entries inside the window.
+        track_order = s.reorder_depth < limit
+        seen: dict = {} if track_order else None
+        resp_ok: Optional[bool] = None
+        gate_ok = [None, None]  # cached per direction
+        max_score = s.hit_bonus + s.dir_bonus
+        for i in range(limit):
+            txn = q[i]
+            if track_order:
+                m = txn.master
+                order = seen.get(m, 0)
+                seen[m] = order + 1
+                if order >= s.reorder_depth:
+                    continue
+            is_read = txn.is_read
+            d = 0 if is_read else 1
+            ok = gate_ok[d]
+            if ok is None:
+                ok = gate_ok[d] = pch.channel_open(is_read, cycle)
+            if not ok:
+                continue
+            if is_read:
+                if resp_ok is None:
+                    resp_ok = self.response_space(pch.index)
+                if not resp_ok:
+                    continue
+            score = 0
+            if banks.would_hit(txn.local):
+                score += s.hit_bonus
+            if d == last_dir:
+                score += s.dir_bonus
+            if score > best_score:
+                best_score = score
+                best_idx = i
+                if score == max_score:
+                    break  # cannot do better
+        return best_idx
+
+    def _deliver_read_data(self, cycle: int) -> None:
+        pending = self._pending
+        while pending and pending[0][0] <= cycle:
+            _, _, txn, li = heapq.heappop(pending)
+            self.on_read_data(txn, float(cycle))
+
+    # -- invariants / reporting ----------------------------------------------
+
+    def pending_reads(self, pch_index: int) -> int:
+        """Read-data events booked but not yet delivered for a PCH."""
+        return sum(1 for item in self._pending if self.pchs[item[3]].index == pch_index)
+
+    def in_flight(self) -> int:
+        """Transactions buffered anywhere inside this controller."""
+        return sum(len(q) for q in self.queues) + len(self._pending)

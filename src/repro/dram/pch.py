@@ -1,0 +1,214 @@
+"""Cycle-timing model of one HBM pseudo-channel.
+
+A pseudo-channel owns
+
+* a shared bidirectional **data bus** (one 32 B beat per fabric cycle;
+  switching direction costs turnaround dead time),
+* a :class:`~repro.dram.bank.BankSet` for row/activate management,
+* two AXI-side **port-rate gates** (R and W).  The HBM AXI ports are
+  clocked in the accelerator's domain (300 MHz in the paper's setup), so
+  each direction of a PCH moves at most ``port_ratio`` beats per fabric
+  cycle — 2/3, i.e. 9.6 GB/s.  This is the paper's measured unidirectional
+  hot-spot ceiling, while concurrent reads *and* writes still fill the
+  DRAM bus to ~13 GB/s (Fig. 2 / Table IV).  The gates are token buckets
+  with ``port_slack_cycles`` of burst tolerance so the controller can
+  group same-direction transactions to amortize bus turnarounds,
+* periodic **refresh** that blocks the channel for ``t_rfc`` every
+  ``t_refi`` cycles (the 7-9 % loss Xilinx documents).
+
+:meth:`PseudoChannel.service` consumes one transaction and returns its
+``(transfer_start, data_exit)`` times; all resource meters advance as a
+side effect.  The surrounding :class:`~repro.dram.controller.MemoryController`
+decides *which* transaction to service (scheduling policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..axi.transaction import AxiTransaction
+from ..params import DramTiming
+from .bank import BankSet
+
+
+@dataclass
+class PchCounters:
+    """Diagnostic counters of one pseudo-channel."""
+
+    txns_serviced: int = 0
+    beats_transferred: int = 0
+    read_beats: int = 0
+    write_beats: int = 0
+    turnarounds: int = 0
+    port_stalls: int = 0
+    miss_gaps: int = 0
+    refreshes: int = 0
+
+    def merge(self, other: "PchCounters") -> None:
+        self.txns_serviced += other.txns_serviced
+        self.beats_transferred += other.beats_transferred
+        self.read_beats += other.read_beats
+        self.write_beats += other.write_beats
+        self.turnarounds += other.turnarounds
+        self.port_stalls += other.port_stalls
+        self.miss_gaps += other.miss_gaps
+        self.refreshes += other.refreshes
+
+
+_DIR_NONE = -1
+_DIR_READ = 0
+_DIR_WRITE = 1
+
+
+class PseudoChannel:
+    """Timing state of one pseudo-channel's DRAM and AXI port."""
+
+    __slots__ = ("index", "timing", "port_ratio", "banks", "bus_free",
+                 "last_dir", "miss_streak", "last_miss_row",
+                 "last_miss_delta", "chan_debt", "next_refresh", "refresh_bank",
+                 "counters")
+
+    def __init__(self, index: int, timing: DramTiming,
+                 refresh_phase: int = 0, port_ratio: float = 2.0 / 3.0) -> None:
+        self.index = index
+        self.timing = timing
+        self.port_ratio = port_ratio
+        self.banks = BankSet(timing)
+        #: Cycle from which the shared data bus is free again.
+        self.bus_free: float = 0.0
+        self.last_dir: int = _DIR_NONE
+        self.miss_streak: int = 0
+        #: Per-direction row of the previous miss / its row stride, used
+        #: to classify a miss stream as regular (strided) or irregular.
+        self.last_miss_row = [-1, -1]
+        self.last_miss_delta = [None, None]
+        #: Token-bucket debt of the per-direction AXI port [read, write].
+        self.chan_debt = [0.0, 0.0]
+        #: Stagger refresh phases across PCHs so the device does not pause
+        #: globally (real HBM controllers do the same).  Phase 0 means the
+        #: first refresh lands a full interval in.
+        phase = refresh_phase % timing.t_refi
+        first = timing.t_refi / timing.num_banks if timing.per_bank_refresh \
+            else timing.t_refi
+        self.next_refresh: float = float(phase if phase else first)
+        self.refresh_bank = 0
+        self.counters = PchCounters()
+
+    # -- scheduling gates -------------------------------------------------------
+
+    def ready_for_service(self, cycle: int, horizon: float) -> bool:
+        """Whether new work may be committed at ``cycle``.
+
+        The controller schedules ahead of the data bus by ``horizon``
+        cycles so row activates overlap with ongoing transfers (bank-level
+        parallelism); once the bus is booked further ahead than the
+        horizon, scheduling pauses.
+        """
+        return self.bus_free < cycle + horizon
+
+    def channel_open(self, is_read: bool, cycle: int) -> bool:
+        """Whether the direction's port-rate gate admits another burst."""
+        d = _DIR_READ if is_read else _DIR_WRITE
+        open_ = self.chan_debt[d] <= cycle + self.timing.port_slack_cycles
+        if not open_:
+            self.counters.port_stalls += 1
+        return open_
+
+    # -- simulation ----------------------------------------------------------
+
+    def service(self, txn: AxiTransaction, cycle: int,
+                cmd_ready: float) -> tuple[float, float]:
+        """Commit ``txn`` to the DRAM and advance all meters.
+
+        Parameters
+        ----------
+        txn:
+            The transaction; ``txn.local`` must hold its local offset.
+        cycle:
+            Current fabric cycle (decision time).
+        cmd_ready:
+            Earliest cycle the MC command path allows (shared per MC).
+
+        Returns
+        -------
+        (transfer_start, data_exit):
+            When the data bus transfer begins, and when the last beat (plus
+            column latency) leaves towards the requester (reads) or is
+            committed (writes).
+        """
+        t = self.timing
+        # Refresh: catch up on any due refresh windows first.
+        if t.per_bank_refresh:
+            # Rotate through the banks: one bank blocks for t_rfc_pb every
+            # t_refi/num_banks; the data bus and other banks keep working.
+            interval = t.t_refi / t.num_banks
+            while cycle >= self.next_refresh:
+                bank = self.refresh_bank
+                start = max(self.next_refresh, self.banks.next_act[bank])
+                self.banks.next_act[bank] = start + t.t_rfc_pb
+                self.refresh_bank = (bank + 1) % t.num_banks
+                self.next_refresh += interval
+                self.counters.refreshes += 1
+        else:
+            while cycle >= self.next_refresh:
+                busy = self.bus_free if self.bus_free > self.next_refresh else self.next_refresh
+                self.bus_free = busy + t.t_rfc
+                self.next_refresh += t.t_refi
+                self.counters.refreshes += 1
+
+        earliest = float(cycle) if cycle > cmd_ready else cmd_ready
+        column_ready, hit = self.banks.access(txn.local, earliest)
+
+        d = _DIR_READ if txn.is_read else _DIR_WRITE
+        # Shared data bus with direction turnaround.
+        bus = self.bus_free
+        if self.last_dir != d and self.last_dir != _DIR_NONE:
+            bus += t.t_turnaround_rd_to_wr if d == _DIR_WRITE else t.t_turnaround_wr_to_rd
+            self.counters.turnarounds += 1
+        self.last_dir = d
+        if not hit:
+            # Sustained *irregular* row-miss streams expose part of the
+            # precharge + activate latency on the data path: constant-
+            # stride miss sequences pipeline their activates evenly, while
+            # random row sequences clump them (tFAW/bank-group pressure).
+            row = txn.local // t.row_bytes
+            prev_row = self.last_miss_row[d]
+            delta = row - prev_row if prev_row >= 0 else None
+            regular = delta is not None and delta == self.last_miss_delta[d]
+            if self.miss_streak >= 2 and not regular:
+                bus += t.t_miss_gap
+                self.counters.miss_gaps += 1
+            self.last_miss_row[d] = row
+            self.last_miss_delta[d] = delta
+            self.miss_streak += 1
+        else:
+            self.miss_streak = 0
+
+        start = column_ready if column_ready > bus else bus
+        burst = txn.burst_len
+        end = start + burst
+        self.bus_free = end
+        # Port-rate token bucket: the direction's long-run beat rate is
+        # capped at the accelerator-domain port clock.
+        debt = self.chan_debt[d]
+        base = debt if debt > start else start
+        self.chan_debt[d] = base + burst / self.port_ratio
+
+        c = self.counters
+        c.txns_serviced += 1
+        c.beats_transferred += burst
+        if d == _DIR_READ:
+            c.read_beats += burst
+            exit_time = end + t.cas_latency
+        else:
+            c.write_beats += burst
+            exit_time = end + t.write_latency
+        return start, exit_time
+
+    # -- reporting -----------------------------------------------------------
+
+    def utilization(self, cycles: int) -> float:
+        """Fraction of elapsed cycles the data bus moved beats."""
+        if cycles <= 0:
+            return 0.0
+        return min(1.0, self.counters.beats_transferred / cycles)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the reproduction with a single ``except``
+clause while still distinguishing configuration mistakes from protocol
+violations detected inside the simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class AxiProtocolError(ReproError):
+    """An AXI transaction violates the AXI3 protocol rules.
+
+    Raised for illegal burst lengths (``> 16`` for AXI3 INCR), transactions
+    crossing a 4 KB address boundary, zero-length bursts, or misaligned
+    addresses.
+    """
+
+
+class AddressError(ReproError):
+    """An address is outside the device's HBM capacity or misaligned."""
+
+
+class RoutingError(ReproError):
+    """The interconnect cannot route a transaction to its destination."""
+
+
+class SimulationError(ReproError):
+    """Internal invariant of the cycle simulation was violated.
+
+    This indicates a bug in the simulator (e.g. a beat retired twice or a
+    conservation check failing), never a user error.
+    """
+
+
+class ResourceError(ReproError):
+    """A design does not fit the FPGA's resource capacity."""

@@ -1,0 +1,18 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes the same surface:
+
+* ``run(...) -> list[Row]`` — regenerate the experiment's data (rows are
+  frozen dataclasses),
+* ``format_table(rows) -> str`` — the paper-style table/series printout,
+* ``PAPER_REFERENCE`` — the anchor values reported in the paper, used by
+  the paper-claims tests and the EXPERIMENTS.md generator.
+
+Use :mod:`repro.experiments.registry` to enumerate them and
+``python -m repro.experiments.runner`` (or the ``repro-hbm`` console
+script) to run them from the command line.
+"""
+
+from .registry import EXPERIMENTS, ExperimentSpec, get_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "get_experiment"]

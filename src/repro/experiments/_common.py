@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+from ..sim import Engine, SimConfig, SimReport
+from ..types import FabricKind
+from .. import make_fabric
+
+#: Default fabric-cycle horizon of the experiments.  12k cycles (~27 us)
+#: is enough for steady state at every pattern; benches may lower it.
+DEFAULT_CYCLES = 12_000
+
+
+def measure(
+    fabric_kind: FabricKind,
+    sources: Sequence,
+    *,
+    cycles: int = DEFAULT_CYCLES,
+    outstanding: int = 32,
+    platform: HbmPlatform = DEFAULT_PLATFORM,
+    fabric=None,
+) -> SimReport:
+    """Run one simulation and return its report."""
+    fab = fabric if fabric is not None else make_fabric(fabric_kind, platform)
+    cfg = SimConfig(cycles=cycles, warmup=min(cycles // 4, 3_000),
+                    outstanding=outstanding)
+    return Engine(fab, sources, cfg).run()
+
+
+def pct_of_peak(gbps: float, platform: HbmPlatform = DEFAULT_PLATFORM) -> float:
+    """Fraction of the theoretical device peak (460.8 GB/s)."""
+    return gbps / (platform.device_peak_bytes_per_s / 1e9)

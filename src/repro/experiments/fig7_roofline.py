@@ -1,0 +1,77 @@
+"""Fig. 7 — Roofline models of accelerators A and B.
+
+Two rooflines (one per accelerator), each with the measured XLNX and MAO
+memory ceilings and the compute ceilings of every P configuration; every
+(P, fabric) design point is placed at its attainable performance.
+
+Paper shape: without optimized access, *all* configurations of both
+accelerators are memory bound at ~10-13 GB/s; with the MAO, accelerator
+A becomes compute bound up to P=16 (18.4x for the feasible P=8) and
+accelerator B becomes compute bound everywhere, its P=32 point less than
+a percent from the memory ceiling (28.5x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..accelerators import AcceleratorA, AcceleratorB
+from ..accelerators.base import AcceleratorConfig
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+from ..roofline import (Ceiling, CeilingKind, RooflineModel, RooflinePoint,
+                        render_roofline)
+from ._common import DEFAULT_CYCLES
+from .table5_accelerators import MeasuredBandwidths, measure_bandwidths
+
+PS = (4, 8, 16, 32)
+
+PAPER_REFERENCE = {
+    "a_mao_bound": {4: "compute", 8: "compute", 16: "compute", 32: "memory"},
+    "b_xlnx_bound": "memory",   # all P memory bound without MAO
+    "b_mao_bound": "compute",   # all P compute bound with MAO
+}
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    accelerator: str
+    model: RooflineModel
+    points: List[RooflinePoint]
+
+
+def run(
+    cycles: int = DEFAULT_CYCLES,
+    platform: HbmPlatform = DEFAULT_PLATFORM,
+    bandwidths: MeasuredBandwidths | None = None,
+) -> List[Fig7Result]:
+    bw = bandwidths or measure_bandwidths(cycles, platform)
+    results: List[Fig7Result] = []
+    for cls, bw_x, bw_m in ((AcceleratorA, bw.a_xlnx_gbps, bw.a_mao_gbps),
+                            (AcceleratorB, bw.b_xlnx_gbps, bw.b_mao_gbps)):
+        ceilings = [
+            Ceiling("Memory BW XLNX", CeilingKind.MEMORY, bw_x),
+            Ceiling("Memory BW MAO", CeilingKind.MEMORY, bw_m),
+        ]
+        models = {p: cls(AcceleratorConfig(p=p)) for p in PS}
+        for p, m in models.items():
+            ceilings.append(Ceiling(f"{p} ports", CeilingKind.COMPUTE,
+                                    m.compute_ceiling_gops))
+        roof = RooflineModel(ceilings)
+        points = []
+        for p, m in models.items():
+            for fabric, mem in (("XLNX", "Memory BW XLNX"),
+                                ("MAO", "Memory BW MAO")):
+                points.append(roof.place(
+                    f"{p} ports ({fabric})", m.operational_intensity,
+                    compute=f"{p} ports", memory=mem))
+        results.append(Fig7Result(cls.name, roof, points))
+    return results
+
+
+def format_table(results: List[Fig7Result]) -> str:
+    out = []
+    for res in results:
+        out.append(f"\nFig. 7 — Roofline of {res.accelerator}")
+        out.append(render_roofline(res.model, res.points))
+    return "\n".join(out)

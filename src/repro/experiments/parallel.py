@@ -1,0 +1,52 @@
+"""Process-level parallelism for experiment sweeps.
+
+Every sweep in the harness is embarrassingly parallel — each point builds
+its own fabric and traffic and shares no state — so they scale linearly
+over worker processes.  :func:`parallel_sweep` maps a *module-level*
+function over the sweep points with a ``ProcessPoolExecutor`` while
+preserving input order; with ``workers <= 1`` (or in an environment where
+forking is undesirable) it degrades to a plain loop, so callers need no
+fallback logic.
+
+Only module-level functions and picklable arguments may be passed (the
+standard multiprocessing contract); the experiment modules define their
+per-point workers at module scope for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` or the CPU count (capped)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def parallel_sweep(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    Results come back in input order.  ``workers=None`` uses
+    :func:`default_workers`; ``workers<=1`` or a single item runs inline.
+    """
+    n = default_workers() if workers is None else workers
+    items = list(items)
+    if n <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(n, len(items))) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,88 @@
+"""Registry of all paper experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from ..errors import ConfigError
+from . import (extensions, fig2_rw_ratio, fig3_burst_length, fig4_rotation,
+               fig5_stride, fig6_reorder, fig7_roofline, table2_latency,
+               table3_resources, table4_throughput, table5_accelerators)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One regenerable paper artifact."""
+
+    key: str
+    title: str
+    run: Callable[..., Any]
+    format_table: Callable[[Any], str]
+    paper_reference: dict
+    uses_simulation: bool = True
+
+    def execute(self, **kwargs) -> str:
+        """Run and format in one go (the CLI path)."""
+        if not self.uses_simulation:
+            kwargs.pop("cycles", None)
+        data = self.run(**kwargs)
+        return self.format_table(data)
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "fig2": ExperimentSpec(
+        "fig2", "Throughput vs. read/write ratio at 300 MHz",
+        fig2_rw_ratio.run, fig2_rw_ratio.format_table,
+        fig2_rw_ratio.PAPER_REFERENCE),
+    "fig3": ExperimentSpec(
+        "fig3", "Burst-length comparison for SCS/CCS/SCRA/CCRA",
+        fig3_burst_length.run, fig3_burst_length.format_table,
+        fig3_burst_length.PAPER_REFERENCE),
+    "fig4": ExperimentSpec(
+        "fig4", "Effect of the switch fabric (rotation offsets)",
+        fig4_rotation.run, fig4_rotation.format_table,
+        fig4_rotation.PAPER_REFERENCE),
+    "fig5": ExperimentSpec(
+        "fig5", "Effect of stride length with MAO",
+        fig5_stride.run, fig5_stride.format_table,
+        fig5_stride.PAPER_REFERENCE),
+    "fig6": ExperimentSpec(
+        "fig6", "Effect of reordering on CCRA with MAO",
+        fig6_reorder.run, fig6_reorder.format_table,
+        fig6_reorder.PAPER_REFERENCE),
+    "fig7": ExperimentSpec(
+        "fig7", "Roofline models of accelerators A and B",
+        fig7_roofline.run, fig7_roofline.format_table,
+        fig7_roofline.PAPER_REFERENCE),
+    "table2": ExperimentSpec(
+        "table2", "HBM latency comparison (XLNX vs MAO)",
+        table2_latency.run, table2_latency.format_table,
+        table2_latency.PAPER_REFERENCE),
+    "table3": ExperimentSpec(
+        "table3", "MAO implementation results",
+        table3_resources.run, table3_resources.format_table,
+        table3_resources.PAPER_REFERENCE, uses_simulation=False),
+    "table4": ExperimentSpec(
+        "table4", "HBM throughput comparison (XLNX vs MAO)",
+        table4_throughput.run, table4_throughput.format_table,
+        table4_throughput.PAPER_REFERENCE),
+    "table5": ExperimentSpec(
+        "table5", "Matrix-multiplication accelerator overview",
+        table5_accelerators.run, table5_accelerators.format_table,
+        table5_accelerators.PAPER_REFERENCE),
+    "extensions": ExperimentSpec(
+        "extensions", "What-if studies beyond the paper",
+        extensions.run, extensions.format_table,
+        extensions.PAPER_REFERENCE),
+}
+
+
+def get_experiment(key: str) -> ExperimentSpec:
+    """Look up an experiment by key, with a helpful error for typos."""
+    try:
+        return EXPERIMENTS[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {key!r}; choose from "
+            f"{', '.join(sorted(EXPERIMENTS))}") from None

@@ -1,0 +1,54 @@
+"""Markdown report generation.
+
+``repro-hbm report`` regenerates every artifact and assembles a single
+markdown document: one section per table/figure with the formatted output
+in a fenced block and the paper's reference values alongside — the
+machine-written companion to the hand-written EXPERIMENTS.md analysis.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from .registry import EXPERIMENTS
+
+_HEADER = """# Regenerated results — Fast HBM Access with FPGAs (IPDPSW 2021)
+
+Produced by `repro-hbm report`{cycles_note}.  Simulated platform: Xilinx
+XCVU37P-class HBM subsystem (32 pseudo-channels, 300 MHz accelerator
+clock).  See EXPERIMENTS.md for the paper-vs-measured analysis and
+docs/CALIBRATION.md for how the model constants were pinned.
+"""
+
+
+def generate_report(
+    keys: Optional[List[str]] = None,
+    cycles: Optional[int] = None,
+) -> str:
+    """Run the selected experiments (default: all) and render markdown."""
+    from .registry import get_experiment
+    selected = sorted(EXPERIMENTS) if keys is None else keys
+    for key in selected:
+        get_experiment(key)  # raises ConfigError for typos
+    note = f" at a {cycles}-cycle horizon" if cycles else ""
+    parts = [_HEADER.format(cycles_note=note)]
+    for key in selected:
+        spec = EXPERIMENTS[key]
+        kwargs = {}
+        if cycles is not None and spec.uses_simulation:
+            kwargs["cycles"] = cycles
+        start = time.perf_counter()
+        table = spec.execute(**kwargs)
+        elapsed = time.perf_counter() - start
+        parts.append(f"## {key} — {spec.title}\n")
+        parts.append(f"```text\n{table}\n```\n")
+        ref = spec.paper_reference
+        if ref and key != "extensions":
+            parts.append("Paper reference values: "
+                         + "; ".join(f"`{k}` = {v}" for k, v in ref.items()
+                                     if not isinstance(v, dict))
+                         + f"  \n*(regenerated in {elapsed:.1f} s)*\n")
+        else:
+            parts.append(f"*(regenerated in {elapsed:.1f} s)*\n")
+    return "\n".join(parts)

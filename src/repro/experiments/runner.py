@@ -1,0 +1,152 @@
+"""Command-line runner: regenerate paper artifacts and query the models.
+
+Usage::
+
+    repro-hbm list
+    repro-hbm run fig4 [--cycles 12000]
+    repro-hbm all [--cycles 8000] [--out results.txt]
+    repro-hbm estimate --pattern CCS --fabric mao --rw 2:1 --burst 16
+    repro-hbm advise --pattern CCRA --fabric xlnx --outstanding 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from ..types import FabricKind, Pattern, RWRatio
+from .registry import EXPERIMENTS, get_experiment
+
+
+def _parse_rw(text: str) -> RWRatio:
+    try:
+        r, w = text.split(":")
+        return RWRatio(int(r), int(w))
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected READS:WRITES (e.g. 2:1), got {text!r}") from exc
+
+
+def _cmd_estimate(args) -> str:
+    from ..core.estimator import BandwidthEstimator, EstimateInputs
+    est = BandwidthEstimator()
+    inputs = EstimateInputs(
+        fabric=FabricKind(args.fabric),
+        pattern=Pattern[args.pattern],
+        rw=args.rw,
+        burst_len=args.burst,
+        outstanding=args.outstanding,
+    )
+    e = est.estimate(inputs)
+    lines = [
+        f"pattern {args.pattern} on {args.fabric}, {args.rw} R:W, BL{args.burst}:",
+        f"  estimated bandwidth : {e.total_gbps:8.1f} GB/s "
+        f"(RD {e.read_gbps:.1f} / WR {e.write_gbps:.1f})",
+        f"  binding constraint  : {e.bottleneck}",
+        f"  effective channels  : {e.nch_eff}",
+    ]
+    for note in e.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def _cmd_advise(args) -> str:
+    from ..core.guidelines import DesignDescription, evaluate_guidelines
+    design = DesignDescription(
+        rw=args.rw,
+        burst_len=args.burst,
+        outstanding=args.outstanding,
+        pattern=Pattern[args.pattern],
+        fabric=FabricKind(args.fabric),
+    )
+    findings = evaluate_guidelines(design)
+    return "\n".join(str(f) for f in findings)
+
+
+def _cmd_list() -> str:
+    lines = ["available experiments:"]
+    for key in sorted(EXPERIMENTS):
+        spec = EXPERIMENTS[key]
+        lines.append(f"  {key:<8} {spec.title}")
+    return "\n".join(lines)
+
+
+def _cmd_run(keys: List[str], cycles: Optional[int]) -> str:
+    chunks = []
+    for key in keys:
+        spec = get_experiment(key)
+        kwargs = {}
+        if cycles is not None and spec.uses_simulation:
+            kwargs["cycles"] = cycles
+        start = time.perf_counter()
+        table = spec.execute(**kwargs)
+        elapsed = time.perf_counter() - start
+        chunks.append(f"=== {key}: {spec.title} ({elapsed:.1f}s) ===\n{table}")
+    return "\n\n".join(chunks)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-hbm",
+        description="Regenerate the tables and figures of 'Fast HBM Access "
+                    "with FPGAs' (IPDPSW 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments")
+    p_run = sub.add_parser("run", help="run selected experiments")
+    p_run.add_argument("keys", nargs="+", choices=sorted(EXPERIMENTS))
+    p_run.add_argument("--cycles", type=int, default=None,
+                       help="simulation horizon in fabric cycles")
+    p_run.add_argument("--out", type=str, default=None)
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--cycles", type=int, default=None)
+    p_all.add_argument("--out", type=str, default=None)
+    p_rep = sub.add_parser("report", help="write a markdown results report")
+    p_rep.add_argument("keys", nargs="*", metavar="KEY",
+                       help=f"experiments to include (default: all of "
+                            f"{', '.join(sorted(EXPERIMENTS))})")
+    p_rep.add_argument("--cycles", type=int, default=None)
+    p_rep.add_argument("--out", type=str, default="results_report.md")
+    for name, helptext in (("estimate", "analytical bandwidth estimate"),
+                           ("advise", "check a design against the guidelines")):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--pattern", choices=[p_.name for p_ in Pattern],
+                       default="CCS")
+        p.add_argument("--fabric", choices=[f.value for f in FabricKind],
+                       default="xlnx")
+        p.add_argument("--rw", type=_parse_rw, default=RWRatio(2, 1),
+                       help="read:write ratio, e.g. 2:1")
+        p.add_argument("--burst", type=int, default=16)
+        p.add_argument("--outstanding", type=int, default=32)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        print(_cmd_list())
+        return 0
+    if args.command == "estimate":
+        print(_cmd_estimate(args))
+        return 0
+    if args.command == "advise":
+        print(_cmd_advise(args))
+        return 0
+    if args.command == "report":
+        from .report import generate_report
+        text = generate_report(args.keys or None, args.cycles)
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+        return 0
+    keys = sorted(EXPERIMENTS) if args.command == "all" else args.keys
+    text = _cmd_run(keys, args.cycles)
+    if getattr(args, "out", None):
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

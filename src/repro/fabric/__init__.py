@@ -1,0 +1,40 @@
+"""Interconnect fabrics between bus masters and HBM pseudo-channels.
+
+Three fabrics are modeled:
+
+* :class:`~repro.fabric.segmented.SegmentedFabric` — the Xilinx-style
+  segmented switch network of Fig. 1: eight 4x4 local crossbar switches,
+  two lateral buses per direction, round-robin arbitration with dead
+  cycles, and input-queued (head-of-line blocking) FIFOs.
+* :class:`~repro.fabric.mao_fabric.MaoFabric` — the paper's Memory Access
+  Optimizer: a hierarchical, non-blocking distribution network with
+  address interleaving and reorder buffers (Sec. IV-B).
+* :class:`~repro.fabric.ideal.IdealFabric` — a zero-contention reference.
+
+:mod:`repro.fabric.flow` additionally provides an *analytical* max-min
+flow model of the segmented topology used to cross-validate the cycle
+simulation (e.g. the rotation experiment of Fig. 4).
+"""
+
+from .links import Fifo, Flit, ArbOutput
+from .topology import SegmentedTopology, Route
+from .segmented import SegmentedFabric
+from .mao_fabric import MaoFabric
+from .ideal import IdealFabric
+from .flow import max_min_throughput, rotation_flows
+from .visualize import render_topology, render_utilization
+
+__all__ = [
+    "Fifo",
+    "Flit",
+    "ArbOutput",
+    "SegmentedTopology",
+    "Route",
+    "SegmentedFabric",
+    "MaoFabric",
+    "IdealFabric",
+    "max_min_throughput",
+    "rotation_flows",
+    "render_topology",
+    "render_utilization",
+]

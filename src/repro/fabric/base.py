@@ -1,0 +1,122 @@
+"""Common scaffolding shared by all fabric models.
+
+A *fabric* owns everything between the bus-master ports and the DRAM:
+landing FIFOs, switches/links, memory controllers, and pseudo-channels.
+The engine drives it through a narrow interface:
+
+* :meth:`BaseFabric.submit` — a master offers a transaction (returns
+  ``False`` on backpressure),
+* :meth:`BaseFabric.step` — advance one fabric cycle,
+* :attr:`BaseFabric.completions` — transactions that finished this cycle
+  (drained by the engine),
+* :meth:`BaseFabric.quiescent` — drain check for end-of-simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..axi.transaction import AxiTransaction
+from ..core.address_map import AddressMap
+from ..dram.controller import MemoryController, SchedulerConfig
+from ..dram.pch import PseudoChannel
+from ..params import HbmPlatform
+
+
+class BaseFabric:
+    """Shared construction and completion plumbing for fabric models."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        platform: HbmPlatform,
+        address_map: AddressMap,
+        sched: Optional[SchedulerConfig] = None,
+    ) -> None:
+        self.platform = platform
+        self.address_map = address_map
+        self.sched = sched or SchedulerConfig()
+        #: Transactions completed this cycle: (txn, completion_cycle).
+        self.completions: List[Tuple[AxiTransaction, float]] = []
+        #: Directly scheduled completion events (write acks, etc.).
+        self._events: List[tuple] = []
+        self._event_seq = 0
+        # Refresh phases are staggered across PCHs.
+        t = platform.dram
+        phase_step = t.t_refi // max(1, platform.num_pch)
+        self.pchs = [
+            PseudoChannel(i, t, refresh_phase=i * phase_step,
+                          port_ratio=platform.clock_ratio)
+            for i in range(platform.num_pch)
+        ]
+        self.num_mcs = platform.num_pch // platform.pch_per_mc
+        self.mcs: List[MemoryController] = []
+        for m in range(self.num_mcs):
+            group = self.pchs[m * platform.pch_per_mc:(m + 1) * platform.pch_per_mc]
+            self.mcs.append(MemoryController(
+                m, group, t, self.sched,
+                on_read_data=self._on_read_data,
+                on_write_accept=self._on_write_accept,
+                response_space=self._response_space,
+                mc_latency=platform.fabric.mc_latency,
+            ))
+
+    # -- interface the engine uses --------------------------------------------
+
+    def submit(self, txn: AxiTransaction, cycle: int) -> bool:
+        raise NotImplementedError
+
+    def step(self, cycle: int) -> None:
+        raise NotImplementedError
+
+    def quiescent(self) -> bool:
+        raise NotImplementedError
+
+    def drain_completions(self) -> List[Tuple[AxiTransaction, float]]:
+        done = self.completions
+        self.completions = []
+        return done
+
+    # -- hooks the subclasses implement ----------------------------------------
+
+    def _on_read_data(self, txn: AxiTransaction, time: float) -> None:
+        raise NotImplementedError
+
+    def _on_write_accept(self, txn: AxiTransaction, time: float) -> None:
+        raise NotImplementedError
+
+    def _response_space(self, pch: int) -> bool:
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------------
+
+    def _resolve(self, txn: AxiTransaction) -> None:
+        """Fill in destination PCH and local offset from the address map."""
+        txn.pch = self.address_map.pch_of(txn.address)
+        txn.local = self.address_map.local_of(txn.address)
+
+    def _schedule_completion(self, txn: AxiTransaction, time: float) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (time, self._event_seq, txn))
+
+    def _pop_due_events(self, cycle: int) -> None:
+        ev = self._events
+        while ev and ev[0][0] <= cycle:
+            time, _, txn = heapq.heappop(ev)
+            txn.complete_cycle = cycle
+            self.completions.append((txn, time))
+
+    def _mcs_quiescent(self) -> bool:
+        return all(mc.in_flight() == 0 for mc in self.mcs) and not self._events
+
+    # -- reporting ----------------------------------------------------------------
+
+    def dram_counters(self):
+        """Aggregate PCH counters (diagnostics)."""
+        from ..dram.pch import PchCounters
+        total = PchCounters()
+        for p in self.pchs:
+            total.merge(p.counters)
+        return total

@@ -1,0 +1,134 @@
+"""Analytical max-min flow model of the segmented switch network.
+
+A fast, closed-form cross-check for the cycle simulation: flows (one per
+bus master) traverse a set of capacitated resources — their destination
+pseudo-channel and every lateral bus on their route — and bandwidth is
+allocated max-min fairly, which is what cycle-level round-robin
+arbitration converges to.
+
+This reproduces the arithmetic of the paper's own Fig. 4 explanation:
+with rotation offset 2, two masters per switch share one lateral bus, so
+they each get half of it (75 % total); with offset 4, four masters share
+two buses (50 %); and so on.
+
+The model is deliberately simple — no head-of-line blocking, no dead
+cycles — so differences against the cycle simulation quantify exactly
+those second-order effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from ..params import HbmPlatform, DEFAULT_PLATFORM, gbps
+from ..types import RWRatio, TWO_TO_ONE
+from .topology import SegmentedTopology
+
+
+@dataclass
+class Flow:
+    """One master's traffic: a demand over a set of weighted resources.
+
+    ``usage`` maps resource key -> coefficient: a flow of rate ``r``
+    consumes ``coeff * r`` of that resource.  Coefficients express e.g.
+    that only the read share of a flow crosses the response laterals.
+    """
+
+    name: str
+    demand: float
+    usage: Dict[Hashable, float] = field(default_factory=dict)
+
+
+def max_min_throughput(
+    flows: Sequence[Flow],
+    capacities: Dict[Hashable, float],
+) -> Dict[str, float]:
+    """Max-min fair allocation of flow rates under resource capacities.
+
+    Standard water-filling: raise every unfrozen flow's rate uniformly
+    until some resource saturates (or a flow reaches its demand), freeze
+    the affected flows, and repeat.
+
+    Returns a mapping flow name -> allocated rate.
+    """
+    rates = {f.name: 0.0 for f in flows}
+    active = {f.name: f for f in flows}
+    remaining = dict(capacities)
+
+    while active:
+        # Max uniform increment before a resource or a demand binds.
+        limit = min(f.demand - rates[f.name] for f in active.values())
+        load: Dict[Hashable, float] = {}
+        for f in active.values():
+            for res, coeff in f.usage.items():
+                load[res] = load.get(res, 0.0) + coeff
+        for res, total_coeff in load.items():
+            if total_coeff > 0:
+                limit = min(limit, remaining[res] / total_coeff)
+        if limit < 0:
+            limit = 0.0
+        # Apply the increment.
+        saturated: set = set()
+        for f in active.values():
+            rates[f.name] += limit
+            for res, coeff in f.usage.items():
+                remaining[res] -= coeff * limit
+                if remaining[res] <= 1e-12:
+                    saturated.add(res)
+        # Freeze flows that met demand or touch a saturated resource.
+        frozen = [
+            name for name, f in active.items()
+            if rates[name] >= f.demand - 1e-12
+            or any(res in saturated for res in f.usage)
+        ]
+        if not frozen:
+            break  # numerical safety; should not happen
+        for name in frozen:
+            del active[name]
+    return rates
+
+
+def rotation_flows(
+    offset: int,
+    platform: HbmPlatform = DEFAULT_PLATFORM,
+    rw: RWRatio = TWO_TO_ONE,
+    pch_limit_gbps: float = 13.0,
+    lateral_limit_gbps: float = 14.4,
+) -> Tuple[List[Flow], Dict[Hashable, float]]:
+    """Build the Fig. 4 rotation workload for the flow model.
+
+    Master ``m`` accesses PCH ``(m + offset) mod num_pch`` with reads and
+    writes in ratio ``rw``.  Write data loads the request laterals, read
+    data the response laterals, both load the destination PCH.
+    """
+    topo = SegmentedTopology(platform)
+    n = platform.num_pch
+    flows: List[Flow] = []
+    caps: Dict[Hashable, float] = {}
+    for p in range(n):
+        caps[("pch", p)] = pch_limit_gbps
+    for m in range(platform.num_masters):
+        p = (m + offset) % n
+        usage: Dict[Hashable, float] = {("pch", p): 1.0}
+        # A lateral connection is one AXI interface: write data travels in
+        # the request direction, read data returns on the same bus, so the
+        # flow's *whole* traffic loads each lateral bus it crosses.
+        req = topo.request_route(m, p)
+        for hop in req.laterals:
+            key = ("lat", hop)
+            caps.setdefault(key, lateral_limit_gbps)
+            usage[key] = usage.get(key, 0.0) + 1.0
+        flows.append(Flow(f"m{m}", demand=pch_limit_gbps, usage=usage))
+    return flows, caps
+
+
+def rotation_throughput_gbps(
+    offset: int,
+    platform: HbmPlatform = DEFAULT_PLATFORM,
+    rw: RWRatio = TWO_TO_ONE,
+) -> float:
+    """Total device throughput (GB/s) of the rotation pattern."""
+    flows, caps = rotation_flows(offset, platform, rw)
+    rates = max_min_throughput(flows, caps)
+    return sum(rates.values())

@@ -1,0 +1,75 @@
+"""Zero-contention reference fabric.
+
+Used for sanity checks and upper-bound comparisons: requests reach their
+memory controller after a single cycle, responses return after a single
+cycle, and no interconnect resource is ever shared.  DRAM-side effects
+(rows, turnaround, refresh, port-rate gates) still apply, so the
+ideal fabric exposes the *memory* limits in isolation from the *fabric*
+limits — the separation the paper's analysis methodology relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..axi.transaction import AxiTransaction
+from ..core.address_map import AddressMap, ContiguousMap
+from ..dram.controller import SchedulerConfig
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+from .base import BaseFabric
+
+
+class IdealFabric(BaseFabric):
+    """Contention-free interconnect with unit latency."""
+
+    name = "ideal"
+
+    def __init__(
+        self,
+        platform: HbmPlatform = DEFAULT_PLATFORM,
+        address_map: Optional[AddressMap] = None,
+        sched: Optional[SchedulerConfig] = None,
+    ) -> None:
+        super().__init__(platform, address_map or ContiguousMap(platform), sched)
+        self._in_transit: List[tuple] = []
+        self._seq = 0
+        self._staged: Deque[AxiTransaction] = deque()
+
+    def submit(self, txn: AxiTransaction, cycle: int) -> bool:
+        self._resolve(txn)
+        txn.issue_cycle = cycle
+        self._seq += 1
+        heapq.heappush(self._in_transit, (cycle + 1, self._seq, txn))
+        return True
+
+    def step(self, cycle: int) -> None:
+        transit = self._in_transit
+        while transit and transit[0][0] <= cycle:
+            _, _, txn = heapq.heappop(transit)
+            self._staged.append(txn)
+        if self._staged:
+            retry: Deque[AxiTransaction] = deque()
+            while self._staged:
+                txn = self._staged.popleft()
+                mc = self.mcs[self.platform.mc_of_pch(txn.pch)]
+                if not mc.try_accept(txn, cycle):
+                    retry.append(txn)
+            self._staged = retry
+        for mc in self.mcs:
+            mc.step(cycle)
+        self._pop_due_events(cycle)
+
+    def quiescent(self) -> bool:
+        return (not self._in_transit and not self._staged
+                and self._mcs_quiescent())
+
+    def _on_read_data(self, txn: AxiTransaction, time: float) -> None:
+        self._schedule_completion(txn, time + 1)
+
+    def _on_write_accept(self, txn: AxiTransaction, time: float) -> None:
+        self._schedule_completion(txn, time + 1)
+
+    def _response_space(self, pch: int) -> bool:
+        return True

@@ -1,0 +1,242 @@
+"""Low-level interconnect building blocks for the cycle simulation.
+
+The fabrics are built from two primitives:
+
+* :class:`Fifo` — a bounded FIFO of :class:`Flit` objects.  Input queues of
+  a switch are FIFOs, which is what produces head-of-line blocking: only
+  the head of a queue is eligible for arbitration, so a blocked head stalls
+  everything behind it (one of the throughput impediments of Sec. IV-A).
+* :class:`ArbOutput` — one output bus of a switch.  Every cycle it
+  round-robin arbitrates over its input FIFOs, granting the head flit whose
+  route names this output.  A granted flit occupies the bus for
+  ``weight / rate`` cycles (a flit's weight is its data-beat count) and
+  arrives at the destination FIFO ``latency`` cycles after transmission
+  completes.  Changing the granted input inserts ``dead_cycles`` of bus
+  turnaround — the "additional dead cycles for bus multiplexing" the paper
+  identifies as a contention source.
+
+Backpressure is credit-based: a grant is only issued when the destination
+FIFO has a free slot, which the output reserves until delivery.  Every
+destination FIFO is fed by exactly one :class:`ArbOutput` (a structural
+invariant of the topologies built here), so the reservation count can live
+on the output.
+
+These classes are on the simulation's innermost loop; they use
+``__slots__``, plain attribute access and early-outs rather than nested
+abstractions (see the optimizing-code guide).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..axi.transaction import AxiTransaction
+from ..errors import SimulationError
+
+#: Flit phases.
+REQUEST = 0
+RESPONSE = 1
+
+
+class Flit:
+    """One transaction's traversal of one network phase.
+
+    ``weight`` is the number of data beats the flit occupies on a bus:
+    1 for a read request (address only), ``burst_len`` for write requests
+    (address + write data) and read responses (read data).
+    """
+
+    __slots__ = ("txn", "weight", "phase", "route", "hop")
+
+    def __init__(
+        self,
+        txn: AxiTransaction,
+        weight: int,
+        phase: int,
+        route: Sequence["ArbOutput"],
+    ) -> None:
+        self.txn = txn
+        self.weight = weight
+        self.phase = phase
+        self.route = route
+        self.hop = 0
+
+    @property
+    def next_output(self) -> Optional["ArbOutput"]:
+        """The ArbOutput this flit must traverse next, or ``None`` if it has
+        arrived at its terminal FIFO."""
+        if self.hop >= len(self.route):
+            return None
+        return self.route[self.hop]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "REQ" if self.phase == REQUEST else "RSP"
+        return f"Flit({kind} w={self.weight} hop={self.hop}/{len(self.route)} {self.txn!r})"
+
+
+class SharedBus:
+    """A capacity meter shared by several :class:`ArbOutput` instances.
+
+    A lateral connection of the segmented fabric is one AXI interface: its
+    W channel carries write data in the request direction while its R
+    channel returns read data for the *same* flows.  The paper's own
+    Fig. 4 arithmetic ("two BMs get 100 % ... the contending ones
+    effectively only 50 %") treats a lateral connection as a single
+    one-PCH-bandwidth resource, so the forward (request) and backward
+    (response) ArbOutputs of one lateral bus share this meter.
+    """
+
+    __slots__ = ("busy_until",)
+
+    def __init__(self) -> None:
+        self.busy_until: float = 0.0
+
+
+class Fifo:
+    """A bounded FIFO of flits."""
+
+    __slots__ = ("items", "capacity", "name")
+
+    def __init__(self, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError("fifo capacity must be >= 1")
+        self.items: Deque[Flit] = deque()
+        self.capacity = capacity
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    @property
+    def head(self) -> Optional[Flit]:
+        return self.items[0] if self.items else None
+
+    def append(self, flit: Flit) -> None:
+        if self.full:
+            raise SimulationError(f"overflow on fifo {self.name!r}")
+        self.items.append(flit)
+
+    def popleft(self) -> Flit:
+        return self.items.popleft()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fifo({self.name!r} {len(self.items)}/{self.capacity})"
+
+
+class ArbOutput:
+    """One arbitrated output bus of a switch.
+
+    Parameters
+    ----------
+    inputs:
+        The input FIFOs this output arbitrates over (round-robin).
+    dest:
+        Destination FIFO flits are delivered into.
+    latency:
+        Pipeline latency in cycles between the end of transmission and
+        arrival at ``dest``.
+    rate:
+        Beats per cycle the bus can move (1.0 for fabric-clock buses, the
+        accelerator/fabric clock ratio for master-adjacent buses).
+    dead_cycles:
+        Bus-multiplexing dead cycles inserted when the granted input
+        differs from the previously granted one.
+    """
+
+    __slots__ = ("name", "inputs", "dest", "latency", "rate", "dead_cycles",
+                 "busy_until", "last_input", "reserved", "in_flight",
+                 "granted_flits", "busy_weight", "shared")
+
+    def __init__(
+        self,
+        name: str,
+        inputs: List[Fifo],
+        dest: Fifo,
+        latency: int,
+        rate: float = 1.0,
+        dead_cycles: int = 0,
+        shared: Optional[SharedBus] = None,
+    ) -> None:
+        if rate <= 0:
+            raise SimulationError("bus rate must be positive")
+        self.name = name
+        self.inputs = inputs
+        self.dest = dest
+        self.latency = latency
+        self.rate = rate
+        self.dead_cycles = dead_cycles
+        self.shared = shared
+        self.busy_until: float = 0.0
+        self.last_input: int = -1
+        self.reserved: int = 0
+        #: (arrival_cycle, flit) in non-decreasing arrival order.
+        self.in_flight: Deque[Tuple[float, Flit]] = deque()
+        #: Total flits granted (diagnostics).
+        self.granted_flits: int = 0
+        #: Total beat-weight granted (diagnostics / utilization).
+        self.busy_weight: float = 0.0
+
+    # -- simulation ----------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        """Advance one cycle: deliver due arrivals, then try to grant."""
+        inflight = self.in_flight
+        if inflight:
+            dest = self.dest
+            while inflight and inflight[0][0] <= cycle:
+                _, flit = inflight.popleft()
+                self.reserved -= 1
+                flit.hop += 1
+                dest.append(flit)
+        if self.busy_until > cycle:
+            return
+        if self.shared is not None and self.shared.busy_until > cycle:
+            return
+        self._try_grant(cycle)
+
+    def _try_grant(self, cycle: int) -> None:
+        inputs = self.inputs
+        n = len(inputs)
+        if n == 0:
+            return
+        if len(self.dest.items) + self.reserved >= self.dest.capacity:
+            return
+        idx = self.last_input
+        for _ in range(n):
+            idx += 1
+            if idx >= n:
+                idx = 0
+            items = inputs[idx].items
+            if not items:
+                continue
+            flit = items[0]
+            if flit.route[flit.hop] is not self:
+                continue
+            # Grant.
+            items.popleft()
+            start = float(cycle)
+            if self.last_input != idx and self.last_input != -1 and self.dead_cycles:
+                start += self.dead_cycles
+            duration = flit.weight / self.rate
+            self.busy_until = start + duration
+            if self.shared is not None:
+                self.shared.busy_until = start + duration
+            self.in_flight.append((start + duration + self.latency, flit))
+            self.reserved += 1
+            self.last_input = idx
+            self.granted_flits += 1
+            self.busy_weight += flit.weight
+            return
+
+    def quiescent(self) -> bool:
+        """True when nothing is buffered or in flight on this bus."""
+        return not self.in_flight and self.reserved == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ArbOutput({self.name!r} busy_until={self.busy_until:.1f} "
+                f"inflight={len(self.in_flight)})")

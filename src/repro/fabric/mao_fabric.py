@@ -1,0 +1,167 @@
+"""Cycle model of the Memory Access Optimizer fabric (Sec. IV-B).
+
+The MAO replaces the lateral switch chain with a hierarchical distribution
+network.  Architecturally that network is *non-blocking*: any master can
+reach any pseudo-channel without sharing a bus with unrelated traffic, so
+the only remaining contention points are
+
+* each PCH's acceptance port (one 32 B beat per fabric cycle),
+* each master's response port (paced at the accelerator clock),
+* the DRAM itself (rows, turnarounds, refresh).
+
+The model therefore represents the network as pipeline latency plus
+per-port rate meters instead of explicit switches — the defining property
+of the architecture, not a simplification of convenience.  Address
+interleaving and reorder buffers are the other two MAO adaptions; both
+live here (the interleave map is applied at submit, the reorder release
+rule on read completion).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..axi.transaction import AxiTransaction
+from ..core.address_map import AddressMap, ContiguousMap, InterleavedMap
+from ..core.mao import MaoConfig
+from ..core.reorder import ReorderBuffer
+from ..dram.controller import SchedulerConfig
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+from .base import BaseFabric
+
+#: Fixed registering overhead of the MAO ingress/egress, fabric cycles.
+MAO_BASE_LATENCY = 6
+
+#: Write-response return latency inside the MAO, fabric cycles.
+MAO_B_LATENCY = 3
+
+#: Outstanding read bursts one AXI ID lane sustains before in-order
+#: response delivery stalls further issue (Fig. 6 reorder sweep).
+READS_PER_LANE = 2
+
+
+class MaoFabric(BaseFabric):
+    """The paper's MAO hierarchical interconnect."""
+
+    name = "mao"
+
+    def __init__(
+        self,
+        platform: HbmPlatform = DEFAULT_PLATFORM,
+        config: Optional[MaoConfig] = None,
+        sched: Optional[SchedulerConfig] = None,
+    ) -> None:
+        self.config = config or MaoConfig()
+        if self.config.interleave_enabled:
+            address_map: AddressMap = InterleavedMap(
+                platform, self.config.interleave_granularity)
+        else:
+            address_map = ContiguousMap(platform)
+        sched = sched or SchedulerConfig()
+        # The MAO's reorder depth is the number of independent AXI IDs the
+        # memory controllers may reorder across (Fig. 6).
+        sched = SchedulerConfig(
+            window=sched.window,
+            reorder_depth=self.config.reorder_depth,
+            queue_capacity=sched.queue_capacity,
+            request_fifo_capacity=sched.request_fifo_capacity,
+            horizon=sched.horizon,
+            hit_bonus=sched.hit_bonus,
+            dir_bonus=sched.dir_bonus,
+        )
+        super().__init__(platform, address_map, sched)
+        ft = platform.fabric
+        #: One-way pipeline latency of the distribution network.
+        self.one_way_latency = (MAO_BASE_LATENCY
+                                + self.config.stages * ft.mao_stage_latency)
+        #: Per-PCH request acceptance meter (1 beat / fabric cycle).
+        self._accept_free = [0.0] * platform.num_pch
+        #: Per-master response port meter (accelerator-clock pacing).
+        self._egress_free = [0.0] * platform.num_masters
+        #: Per-master reorder buffers (release-rule view).
+        self.reorder = [ReorderBuffer(self.config.reorder_depth)
+                        for _ in range(platform.num_masters)]
+        #: In-flight requests: (arrival_cycle, seq, txn).
+        self._in_transit: List[tuple] = []
+        self._seq = 0
+        #: Requests that arrived but found their MC queue full.
+        self._staged: Deque[AxiTransaction] = deque()
+        #: Reads in flight per master; bounded by the reorder depth (each
+        #: AXI ID lane sustains a couple of outstanding bursts before
+        #: in-order delivery stalls the stream).
+        self._reads_in_flight = [0] * platform.num_masters
+        self._max_reads = max(1, self.config.reorder_depth) * READS_PER_LANE
+
+    # -- engine interface --------------------------------------------------------
+
+    def submit(self, txn: AxiTransaction, cycle: int) -> bool:
+        if txn.is_read and self._reads_in_flight[txn.master] >= self._max_reads:
+            # All ID lanes saturated: a master with few independent AXI
+            # IDs cannot keep more reads in flight (Fig. 6).
+            return False
+        self._resolve(txn)
+        txn.issue_cycle = cycle
+        if txn.is_read:
+            self._reads_in_flight[txn.master] += 1
+            # Allocate the AXI ID lane at issue so the reorder release
+            # rule chains responses in *issue* order per lane.
+            txn.axi_id = self.reorder[txn.master].issue() % self.config.reorder_depth
+        weight = txn.burst_len if txn.is_write else 1
+        arrival = cycle + self.one_way_latency + weight
+        # Serialize at the destination PCH's acceptance port.
+        free = self._accept_free[txn.pch]
+        if free > arrival:
+            arrival = free
+        self._accept_free[txn.pch] = arrival + weight
+        self._seq += 1
+        heapq.heappush(self._in_transit, (arrival, self._seq, txn))
+        return True
+
+    def step(self, cycle: int) -> None:
+        transit = self._in_transit
+        while transit and transit[0][0] <= cycle:
+            _, _, txn = heapq.heappop(transit)
+            self._staged.append(txn)
+        # Retry staged arrivals in order (per-PCH queues provide the
+        # backpressure boundary).
+        if self._staged:
+            retry: Deque[AxiTransaction] = deque()
+            while self._staged:
+                txn = self._staged.popleft()
+                mc = self.mcs[self.platform.mc_of_pch(txn.pch)]
+                if not mc.try_accept(txn, cycle):
+                    retry.append(txn)
+            self._staged = retry
+        for mc in self.mcs:
+            mc.step(cycle)
+        self._pop_due_events(cycle)
+
+    def quiescent(self) -> bool:
+        return (not self._in_transit and not self._staged
+                and self._mcs_quiescent())
+
+    # -- controller callbacks ------------------------------------------------------
+
+    def _on_read_data(self, txn: AxiTransaction, time: float) -> None:
+        m = txn.master
+        self._reads_in_flight[m] -= 1
+        ready = time + self.one_way_latency
+        # Pace the master's response port at the accelerator clock.
+        free = self._egress_free[m]
+        if free > ready:
+            ready = free
+        done = ready + txn.burst_len / self.platform.clock_ratio
+        self._egress_free[m] = done
+        # Reorder-buffer release rule: same AXI ID lanes stay in order.
+        release = self.reorder[m].release_time(txn.axi_id, done)
+        self._schedule_completion(txn, release)
+
+    def _on_write_accept(self, txn: AxiTransaction, time: float) -> None:
+        self._schedule_completion(txn, time + MAO_B_LATENCY)
+
+    def _response_space(self, pch: int) -> bool:
+        # The reorder buffers accept responses early; the master's
+        # outstanding-transaction credits bound the in-flight volume.
+        return True

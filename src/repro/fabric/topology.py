@@ -1,0 +1,104 @@
+"""Topology and routing rules of the segmented switch network.
+
+The Xilinx HBM interconnect (Fig. 1 / Fig. 4b of the paper) is a chain of
+eight local crossbar switches.  Switch ``s`` fronts masters ``4s..4s+3``
+and memory controllers ``2s`` / ``2s+1`` (each fronting two PCHs).  A
+transaction whose destination PCH lives under another switch travels hop
+by hop over the lateral buses; only **two** lateral buses exist per
+direction, and a flow is *statically* assigned to the bus with the parity
+of its destination MC (requests) / source MC (responses).  That static
+assignment is what forces the two remote masters of each switch onto the
+*same* lateral bus at rotation offset 2 (Sec. IV-A: "the static assignment
+forced two BMs to use the same lateral connection").
+
+:class:`SegmentedTopology` is pure geometry — it computes hop sequences as
+:class:`Route` objects without any simulation state, so it can be unit
+tested exhaustively and reused by the analytical flow model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import RoutingError
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+
+#: Lateral directions.
+LEFT = 0
+RIGHT = 1
+
+
+@dataclass(frozen=True)
+class Route:
+    """A hop sequence through the segmented network.
+
+    ``laterals`` lists ``(switch, direction, parity)`` for every lateral
+    bus traversed, in order; ``final_switch`` is where the terminal (MC or
+    master egress) port lives.
+    """
+
+    source_switch: int
+    final_switch: int
+    laterals: Tuple[Tuple[int, int, int], ...]
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.laterals)
+
+
+class SegmentedTopology:
+    """Routing geometry of the segmented switch chain."""
+
+    def __init__(self, platform: HbmPlatform = DEFAULT_PLATFORM) -> None:
+        self.platform = platform
+
+    # -- parity rules ---------------------------------------------------------
+
+    def request_parity(self, pch: int) -> int:
+        """Lateral bus index for requests: destination MC index modulo the
+        bus count (static assignment)."""
+        return (pch // self.platform.pch_per_mc) % self.platform.lateral_buses
+
+    def response_parity(self, pch: int) -> int:
+        """Lateral bus index for responses: source MC index (response
+        buses are statically assigned per MC)."""
+        return (pch // self.platform.pch_per_mc) % self.platform.lateral_buses
+
+    # -- routes ---------------------------------------------------------------
+
+    def _walk(self, src: int, dst: int, parity: int) -> Tuple[Tuple[int, int, int], ...]:
+        if not 0 <= src < self.platform.num_switches:
+            raise RoutingError(f"switch {src} out of range")
+        if not 0 <= dst < self.platform.num_switches:
+            raise RoutingError(f"switch {dst} out of range")
+        hops: List[Tuple[int, int, int]] = []
+        s = src
+        step = 1 if dst > src else -1
+        direction = RIGHT if dst > src else LEFT
+        while s != dst:
+            hops.append((s, direction, parity))
+            s += step
+        return tuple(hops)
+
+    def request_route(self, master: int, pch: int) -> Route:
+        """Hop sequence of a request from ``master`` to ``pch``."""
+        src = self.platform.switch_of_master(master)
+        dst = self.platform.switch_of_pch(pch)
+        return Route(src, dst, self._walk(src, dst, self.request_parity(pch)))
+
+    def response_route(self, pch: int, master: int) -> Route:
+        """Hop sequence of a response from ``pch`` back to ``master``."""
+        src = self.platform.switch_of_pch(pch)
+        dst = self.platform.switch_of_master(master)
+        return Route(src, dst, self._walk(src, dst, self.response_parity(pch)))
+
+    # -- convenience for analysis ---------------------------------------------
+
+    def hop_count(self, master: int, pch: int) -> int:
+        """Lateral hops between a master and a PCH (0 when co-located)."""
+        return abs(self.platform.switch_of_master(master)
+                   - self.platform.switch_of_pch(pch))
+
+    def is_local(self, master: int, pch: int) -> bool:
+        return self.hop_count(master, pch) == 0

@@ -1,0 +1,371 @@
+"""Device, clock, and timing parameters of the modeled HBM FPGA platform.
+
+The paper's measurements were taken on a Xilinx Virtex UltraScale+
+XCVU37P-2E with two 4-Hi HBM2 stacks (8 GB total).  The constants here
+describe that platform:
+
+* 32 pseudo-channels (PCHs), each presented to the programmable logic as a
+  256-bit AXI3 port running at the fabric clock (450 MHz), i.e. a
+  theoretical 14.4 GB/s per PCH and 460.8 GB/s for the device.
+* The accelerator side typically runs at 300 MHz (the paper argues 450 MHz
+  is hard to close timing at), so each bus-master port can move at most
+  9.6 GB/s per direction.
+* Every two PCHs share one memory controller (MC); every four bus masters
+  and two MCs hang off one local crossbar switch; eight such switches are
+  chained with two lateral buses per direction (Fig. 1 of the paper).
+
+All cycle quantities are expressed in *fabric cycles* (450 MHz) unless
+stated otherwise.  The DRAM timing values are a calibrated model — they are
+chosen so that the simulator reproduces the paper's measured anchor points
+(single-PCH effective throughput, closed-page latencies, refresh overhead of
+7–9 %), not copied from a DRAM datasheet; see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+# ---------------------------------------------------------------------------
+# Fundamental device geometry (Xilinx Virtex UltraScale+ HBM, XCVU37P)
+# ---------------------------------------------------------------------------
+
+#: Number of HBM pseudo-channels exposed as AXI ports.
+NUM_PCH = 32
+
+#: Number of HBM stacks on the device (two 4-Hi stacks).
+NUM_STACKS = 2
+
+#: Total HBM capacity in bytes (two 4 GB stacks).
+TOTAL_CAPACITY = 8 * 1024**3
+
+#: Capacity of one pseudo-channel in bytes.
+PCH_CAPACITY = TOTAL_CAPACITY // NUM_PCH
+
+#: AXI data bus width in bits / bytes.  One *beat* moves 32 B.
+AXI_DATA_WIDTH_BITS = 256
+BYTES_PER_BEAT = AXI_DATA_WIDTH_BITS // 8
+
+#: AXI3 caps INCR bursts at 16 beats.
+MAX_BURST_LEN = 16
+
+#: Fabric-side clock of the HBM AXI ports (Hz).
+FABRIC_CLOCK_HZ = 450_000_000
+
+#: Default accelerator clock used throughout the paper (Hz).
+ACCEL_CLOCK_HZ = 300_000_000
+
+#: Theoretical bandwidth of one PCH (14.4 GB/s) and the device (460.8 GB/s).
+PCH_PEAK_BYTES_PER_S = FABRIC_CLOCK_HZ * BYTES_PER_BEAT
+DEVICE_PEAK_BYTES_PER_S = PCH_PEAK_BYTES_PER_S * NUM_PCH
+
+#: Switch-fabric geometry: 8 local switches, each with 4 master ports and
+#: 2 memory controllers (each MC fronts 2 PCHs); 2 lateral buses per
+#: direction between neighbouring switches (Fig. 1 / Fig. 4b).
+NUM_SWITCHES = 8
+MASTERS_PER_SWITCH = 4
+MCS_PER_SWITCH = 2
+PCH_PER_MC = 2
+PCH_PER_SWITCH = MCS_PER_SWITCH * PCH_PER_MC
+LATERAL_BUSES_PER_DIRECTION = 2
+
+GB = 1e9  # decimal gigabyte, as used for GB/s figures in the paper
+
+
+def gbps(bytes_per_s: float) -> float:
+    """Convert bytes/s to (decimal) GB/s for reporting."""
+    return bytes_per_s / GB
+
+
+# ---------------------------------------------------------------------------
+# DRAM timing model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Calibrated DRAM timing parameters of one pseudo-channel.
+
+    The row/bank structure models the locality behaviour the paper observes:
+    a PCH has ``num_banks`` banks; the local address space is striped over
+    rows of ``row_bytes`` bytes, and row ``r`` lives in bank ``r %
+    num_banks``.  Activating a row in a bank that has a different open row
+    costs ``t_rp + t_rcd`` cycles; activates to *different* banks can be
+    pipelined every ``t_rrd`` cycles; re-activating the *same* bank is
+    limited by ``t_rc``.
+
+    All values are in fabric (450 MHz) cycles.
+    """
+
+    row_bytes: int = 1024
+    """Bytes of local PCH address space covered by one DRAM row."""
+
+    num_banks: int = 16
+    """Banks per pseudo-channel (bank = row index mod num_banks; HBM2
+    exposes 16 banks per pseudo-channel).  With 1 KB rows this places the
+    same-bank ping-pong knee of the Fig. 5 stride sweep between 256 KB
+    and 512 KB, as measured."""
+
+    t_rcd: int = 7
+    """Row activate to column access delay (~15 ns)."""
+
+    t_rp: int = 7
+    """Row precharge time (~15 ns)."""
+
+    t_rc: int = 24
+    """Minimum delay between two activates of the *same* bank (~53 ns).
+    Same-bank ping-pong (strides beyond 256 KB in Fig. 5) is tRC-bound."""
+
+    t_rrd: int = 2
+    """Minimum delay between activates to *different* banks."""
+
+    t_miss_gap: int = 12
+    """Data-bus gap exposed by sustained *irregular* row-miss streams.
+
+    Regular miss sequences (a strided stream touching a new row every
+    transaction with a constant row stride) keep the activate engine's
+    tRRD/tFAW budget evenly spent and pipeline completely; random row
+    sequences clump activates onto bank groups and expose part of the
+    precharge+activate latency on the data path.  The gap applies when a
+    transaction misses, the previous two transactions also missed, and
+    the per-direction row stride is not constant — a calibrated proxy for
+    the tFAW/bank-group clustering losses that reproduces the paper's
+    measured random-access plateau (CCRA at ~58 % of a channel with
+    16-beat bursts, Table IV) without touching strided streams."""
+
+    cas_latency: int = 7
+    """Column access (read) latency once the row is open."""
+
+    write_latency: int = 4
+    """Column write latency once the row is open."""
+
+    t_turnaround_rd_to_wr: int = 2
+    """Dead cycles on the shared data bus when switching read -> write."""
+
+    t_turnaround_wr_to_rd: int = 4
+    """Dead cycles on the shared data bus when switching write -> read."""
+
+    t_refi: int = 1755
+    """Average refresh interval (3.9 us at 450 MHz)."""
+
+    t_rfc: int = 125
+    """Refresh cycle time during which the PCH is blocked (~7.1 % overhead,
+    inside the 7-9 % band Xilinx states)."""
+
+    per_bank_refresh: bool = False
+    """HBM2 optional per-bank refresh: instead of blocking the whole
+    channel for ``t_rfc`` every ``t_refi``, each bank is refreshed
+    individually (``t_rfc_pb`` every ``t_refi / num_banks``, rotating).
+    Accesses to *other* banks proceed, so a streaming workload recovers
+    most of the 7-9 % all-bank loss.  Off by default — the paper's
+    platform uses all-bank refresh."""
+
+    t_rfc_pb: int = 25
+    """Per-bank refresh cycle time (~55 ns), used when
+    ``per_bank_refresh`` is enabled."""
+
+    cmd_cycles_per_txn: float = 1.2
+    """Command-path occupancy per AXI transaction on the memory controller,
+    shared by the two PCHs of an MC.  This is what makes burst-length-1
+    traffic command-bound (Fig. 3: +50 % when BL goes from 1 to 2)."""
+
+    port_slack_cycles: int = 128
+    """Burst tolerance of the per-direction AXI port-rate gate.  The HBM
+    AXI ports are clocked in the accelerator's domain (300 MHz in the
+    paper's setup), capping each PCH at 9.6 GB/s *per direction* — the
+    measured unidirectional hot-spot ceiling — while the DRAM data bus can
+    still deliver ~13 GB/s when reads and writes overlap.  The gate is a
+    token bucket: short same-direction groups may exceed the rate (so the
+    controller can amortize bus turnarounds) but the long-run rate is
+    bounded by the port clock."""
+
+    def __post_init__(self) -> None:
+        if self.row_bytes % BYTES_PER_BEAT:
+            raise ConfigError("row_bytes must be a multiple of the beat size")
+        if self.num_banks < 1:
+            raise ConfigError("num_banks must be >= 1")
+        for name in ("t_rcd", "t_rp", "t_rc", "t_rrd", "cas_latency",
+                     "write_latency", "t_refi", "t_rfc", "port_slack_cycles"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if self.t_rc < self.t_rcd + self.t_rp:
+            raise ConfigError("t_rc must cover t_rcd + t_rp")
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of cycles lost to refresh."""
+        return self.t_rfc / self.t_refi
+
+    @property
+    def beats_per_row(self) -> int:
+        return self.row_bytes // BYTES_PER_BEAT
+
+
+# ---------------------------------------------------------------------------
+# Fabric latency model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FabricTiming:
+    """Pipeline latencies of the interconnect, in fabric cycles.
+
+    Calibrated against the paper's latency measurements: a closed-page read
+    to the local PCH takes 48 accelerator cycles (160 ns = 72 fabric
+    cycles) round trip, writes acknowledge after 17 accelerator cycles
+    (57 ns), and each lateral hop adds ~3 cycles per direction (the farthest
+    PCH read is 72 accelerator cycles = 240 ns).
+    """
+
+    switch_latency: int = 16
+    """Pipeline latency through a local crossbar switch, each direction."""
+
+    mc_latency: int = 12
+    """AXI-to-DDR conversion latency in the memory controller, each way."""
+
+    lateral_hop_latency: int = 2
+    """Extra pipeline latency per lateral hop, each direction (the
+    farthest-PCH read measures ~72 accelerator cycles round trip)."""
+
+    dead_cycles: int = 2
+    """Arbitration dead cycles inserted when a switch output changes the
+    granted input (bus multiplexing for timing closure, Sec. IV-A)."""
+
+    mao_stage_latency: int = 12
+    """Latency of one MAO hierarchical distribution stage (Table III has
+    12-cycle one-stage and 25-cycle two-stage configurations)."""
+
+    def __post_init__(self) -> None:
+        for name in ("switch_latency", "mc_latency", "lateral_hop_latency",
+                     "dead_cycles", "mao_stage_latency"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+# ---------------------------------------------------------------------------
+# Aggregate platform description
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HbmPlatform:
+    """Complete description of the modeled HBM FPGA platform.
+
+    The default instance models the XCVU37P used in the paper.  Tests and
+    what-if studies may build variants via :func:`dataclasses.replace` or
+    the :meth:`scaled` helper.
+    """
+
+    num_pch: int = NUM_PCH
+    pch_capacity: int = PCH_CAPACITY
+    bytes_per_beat: int = BYTES_PER_BEAT
+    fabric_clock_hz: int = FABRIC_CLOCK_HZ
+    accel_clock_hz: int = ACCEL_CLOCK_HZ
+    masters_per_switch: int = MASTERS_PER_SWITCH
+    pch_per_mc: int = PCH_PER_MC
+    mcs_per_switch: int = MCS_PER_SWITCH
+    lateral_buses: int = LATERAL_BUSES_PER_DIRECTION
+    dram: DramTiming = field(default_factory=DramTiming)
+    fabric: FabricTiming = field(default_factory=FabricTiming)
+
+    def __post_init__(self) -> None:
+        if self.num_pch < 1:
+            raise ConfigError("num_pch must be >= 1")
+        if self.pch_capacity <= 0:
+            raise ConfigError("pch_capacity must be positive")
+        pch_per_switch = self.mcs_per_switch * self.pch_per_mc
+        if self.num_pch % pch_per_switch:
+            raise ConfigError(
+                "num_pch must be divisible by PCHs per switch "
+                f"({pch_per_switch})")
+        if self.accel_clock_hz > self.fabric_clock_hz:
+            raise ConfigError("accelerator clock may not exceed fabric clock")
+
+    # -- derived geometry ---------------------------------------------------
+
+    @property
+    def num_switches(self) -> int:
+        return self.num_pch // (self.mcs_per_switch * self.pch_per_mc)
+
+    @property
+    def pch_per_switch(self) -> int:
+        return self.mcs_per_switch * self.pch_per_mc
+
+    @property
+    def num_masters(self) -> int:
+        return self.num_switches * self.masters_per_switch
+
+    @property
+    def total_capacity(self) -> int:
+        return self.num_pch * self.pch_capacity
+
+    # -- derived bandwidths ---------------------------------------------------
+
+    @property
+    def pch_peak_bytes_per_s(self) -> float:
+        """Theoretical peak of one PCH (fabric clock x beat width)."""
+        return float(self.fabric_clock_hz * self.bytes_per_beat)
+
+    @property
+    def device_peak_bytes_per_s(self) -> float:
+        """Theoretical device peak (460.8 GB/s on the XCVU37P)."""
+        return self.pch_peak_bytes_per_s * self.num_pch
+
+    @property
+    def port_peak_bytes_per_s(self) -> float:
+        """Peak one bus-master port can move per direction at the
+        accelerator clock (9.6 GB/s at 300 MHz)."""
+        return float(self.accel_clock_hz * self.bytes_per_beat)
+
+    @property
+    def clock_ratio(self) -> float:
+        """Accelerator/fabric clock ratio (2/3 for 300/450 MHz)."""
+        return self.accel_clock_hz / self.fabric_clock_hz
+
+    # -- helpers --------------------------------------------------------------
+
+    def switch_of_master(self, master: int) -> int:
+        """Local switch index a bus master is attached to."""
+        self._check_master(master)
+        return master // self.masters_per_switch
+
+    def switch_of_pch(self, pch: int) -> int:
+        """Local switch index a pseudo-channel is attached to."""
+        self._check_pch(pch)
+        return pch // self.pch_per_switch
+
+    def mc_of_pch(self, pch: int) -> int:
+        """Memory-controller index a pseudo-channel belongs to."""
+        self._check_pch(pch)
+        return pch // self.pch_per_mc
+
+    def local_pch_of_master(self, master: int) -> int:
+        """The PCH directly associated with a master in a 1:1 port map."""
+        self._check_master(master)
+        return master * self.num_pch // self.num_masters
+
+    def fabric_cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.fabric_clock_hz
+
+    def accel_cycles(self, fabric_cycles: float) -> float:
+        """Convert fabric cycles to accelerator-clock cycles."""
+        return fabric_cycles * self.clock_ratio
+
+    def with_accel_clock(self, hz: int) -> "HbmPlatform":
+        """A copy of this platform with a different accelerator clock."""
+        return replace(self, accel_clock_hz=hz)
+
+    def _check_master(self, master: int) -> None:
+        if not 0 <= master < self.num_masters:
+            raise ConfigError(
+                f"master index {master} out of range 0..{self.num_masters - 1}")
+
+    def _check_pch(self, pch: int) -> None:
+        if not 0 <= pch < self.num_pch:
+            raise ConfigError(
+                f"PCH index {pch} out of range 0..{self.num_pch - 1}")
+
+
+#: The default platform: the paper's XCVU37P-2E at a 300 MHz accelerator clock.
+DEFAULT_PLATFORM = HbmPlatform()

@@ -1,0 +1,23 @@
+"""FPGA resource models: device capacity, MAO cost (Table III), and
+accelerator utilization (Table V).
+
+Synthesis cannot run here, so resource counts come from a parametric
+model calibrated once against the paper's reported numbers; the scaling
+laws (crossbar area with port count, PE array area with P², adder trees
+with P) are what the paper's feasibility argument rests on, and those are
+preserved exactly.
+"""
+
+from .fpga import FpgaDevice, XCVU37P, ResourceVector
+from .mao_resources import MaoResourceModel, MaoResourceReport
+from .utilization import UtilizationReport, check_fits
+
+__all__ = [
+    "FpgaDevice",
+    "XCVU37P",
+    "ResourceVector",
+    "MaoResourceModel",
+    "MaoResourceReport",
+    "UtilizationReport",
+    "check_fits",
+]

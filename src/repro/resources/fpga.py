@@ -1,0 +1,89 @@
+"""FPGA device capacities and resource vectors.
+
+The paper's platform is the Xilinx Virtex UltraScale+ XCVU37P.  Its
+capacities are recovered from the paper's own Table III percentages
+(285,327 LUTs = 21.89 % -> ~1,303,680 LUTs, etc.), matching the public
+device specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ResourceError
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A bundle of FPGA resources (absolute counts)."""
+
+    luts: int = 0
+    ffs: int = 0
+    bram36: int = 0
+    dsp: int = 0
+    uram: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.bram36 + other.bram36,
+            self.dsp + other.dsp,
+            self.uram + other.uram,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        return ResourceVector(
+            int(round(self.luts * factor)),
+            int(round(self.ffs * factor)),
+            int(round(self.bram36 * factor)),
+            int(round(self.dsp * factor)),
+            int(round(self.uram * factor)),
+        )
+
+    def __le__(self, other: "ResourceVector") -> bool:
+        return (self.luts <= other.luts and self.ffs <= other.ffs
+                and self.bram36 <= other.bram36 and self.dsp <= other.dsp
+                and self.uram <= other.uram)
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """One FPGA part with its resource capacity."""
+
+    name: str
+    capacity: ResourceVector
+
+    def utilization(self, used: ResourceVector) -> dict:
+        """Per-resource utilization fractions."""
+        cap = self.capacity
+        out = {}
+        for field in ("luts", "ffs", "bram36", "dsp", "uram"):
+            c = getattr(cap, field)
+            u = getattr(used, field)
+            out[field] = u / c if c else 0.0
+        return out
+
+    def fits(self, used: ResourceVector) -> bool:
+        return used <= self.capacity
+
+    def require_fits(self, used: ResourceVector, what: str = "design") -> None:
+        if not self.fits(used):
+            util = self.utilization(used)
+            worst = max(util, key=util.get)
+            raise ResourceError(
+                f"{what} does not fit {self.name}: {worst} at "
+                f"{util[worst]:.0%} of capacity")
+
+
+#: The paper's device: Virtex UltraScale+ XCVU37P (HBM, two 4-Hi stacks).
+XCVU37P = FpgaDevice(
+    name="XCVU37P",
+    capacity=ResourceVector(
+        luts=1_303_680,
+        ffs=2_607_360,
+        bram36=2_016,
+        dsp=9_024,
+        uram=960,
+    ),
+)

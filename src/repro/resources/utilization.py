@@ -1,0 +1,57 @@
+"""Utilization reporting for complete designs (accelerator + MAO).
+
+This is the ``Util`` row of the paper's Table V: a design is the sum of
+its core resources and (optionally) the MAO's; the report says whether it
+fits the device — the argument by which the paper rules out accelerator
+A's P=16/P=32 configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .fpga import FpgaDevice, ResourceVector, XCVU37P
+
+
+@dataclass
+class UtilizationReport:
+    """Resource usage of a complete design."""
+
+    name: str
+    components: Dict[str, ResourceVector] = field(default_factory=dict)
+    device: FpgaDevice = XCVU37P
+
+    def add(self, label: str, res: ResourceVector) -> "UtilizationReport":
+        self.components[label] = res
+        return self
+
+    @property
+    def total(self) -> ResourceVector:
+        total = ResourceVector()
+        for res in self.components.values():
+            total = total + res
+        return total
+
+    @property
+    def fits(self) -> bool:
+        return self.device.fits(self.total)
+
+    def utilization(self) -> dict:
+        return self.device.utilization(self.total)
+
+    @property
+    def lut_fraction(self) -> float:
+        """The headline utilization number of Table V (LUT-based)."""
+        return self.utilization()["luts"]
+
+    def summary(self) -> str:
+        u = self.utilization()
+        verdict = "fits" if self.fits else "DOES NOT FIT"
+        parts = ", ".join(f"{k} {v:.1%}" for k, v in u.items() if v > 0)
+        return f"{self.name}: {parts} -> {verdict} on {self.device.name}"
+
+
+def check_fits(*reports: UtilizationReport) -> List[UtilizationReport]:
+    """Filter to the reports whose designs fit their device."""
+    return [r for r in reports if r.fits]

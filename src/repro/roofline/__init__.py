@@ -1,0 +1,24 @@
+"""Roofline performance model (Sec. V of the paper).
+
+The paper's methodological contribution: a Roofline model whose *memory
+ceilings* are the measured/estimated effective bandwidth of the concrete
+access pattern and interconnect (not the theoretical device peak).
+Attainable performance is ``min(Ccomp, OpI x BW_eff)``; the module also
+classifies designs as compute- or memory-bound and renders ASCII
+rooflines for the terminal.
+"""
+
+from .model import RooflineModel, RooflinePoint, Bound
+from .ceilings import Ceiling, CeilingKind, memory_ceiling_from_report
+from .report import render_roofline, format_points_table
+
+__all__ = [
+    "RooflineModel",
+    "RooflinePoint",
+    "Bound",
+    "Ceiling",
+    "CeilingKind",
+    "memory_ceiling_from_report",
+    "render_roofline",
+    "format_points_table",
+]

@@ -1,0 +1,50 @@
+"""Roofline ceilings.
+
+Two kinds: *memory* ceilings in GB/s (slanted lines in the log-log plot)
+and *compute* ceilings in GOPS (horizontal lines).  The paper's insight is
+that the memory ceiling must be the **effective** bandwidth of the actual
+pattern/fabric combination — Fig. 7 draws one ceiling for the plain Xilinx
+fabric (12.55 GB/s for accelerator A's contiguous allocation) and one for
+the MAO (403.75 GB/s).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+class CeilingKind(enum.Enum):
+    """Kind of a roofline ceiling: slanted (memory) or flat (compute)."""
+
+    MEMORY = "memory"
+    COMPUTE = "compute"
+
+
+@dataclass(frozen=True)
+class Ceiling:
+    """One roofline ceiling.
+
+    ``value`` is GB/s for memory ceilings and GOPS for compute ceilings.
+    """
+
+    name: str
+    kind: CeilingKind
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ConfigError(f"ceiling {self.name!r} must be positive")
+
+    def attainable(self, opi: float) -> float:
+        """GOPS this ceiling allows at operational intensity ``opi``."""
+        if self.kind is CeilingKind.COMPUTE:
+            return self.value
+        return self.value * opi
+
+
+def memory_ceiling_from_report(name: str, report) -> Ceiling:
+    """Build a memory ceiling from a simulation report (measured BW)."""
+    return Ceiling(name, CeilingKind.MEMORY, report.total_gbps)

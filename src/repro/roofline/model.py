@@ -1,0 +1,143 @@
+"""The Roofline model proper.
+
+``attainable(OpI) = min(Ccomp, OpI x BW_eff)`` [Williams et al., CACM'09],
+with the effective-bandwidth refinement of the paper: the memory ceiling
+is pattern- and fabric-specific.  The model also exposes the *ridge point*
+(OpI where a design transitions from memory- to compute-bound) and the
+speedup bookkeeping used for Table V.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import ConfigError
+from .ceilings import Ceiling, CeilingKind
+
+
+class Bound(enum.Enum):
+    """Which ceiling limits a design point."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+    BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One design point placed in the roofline plane."""
+
+    name: str
+    opi: float
+    """Operational intensity in OPS/byte."""
+
+    performance_gops: float
+    """Attainable (or measured) performance."""
+
+    bound: Bound
+
+    compute_ceiling_gops: float
+    memory_ceiling_gbps: float
+
+    @property
+    def memory_limited_gops(self) -> float:
+        return self.opi * self.memory_ceiling_gbps
+
+    @property
+    def headroom(self) -> float:
+        """Fraction of the binding ceiling still unused (0 = at ceiling)."""
+        limit = min(self.compute_ceiling_gops, self.memory_limited_gops)
+        return 1.0 - self.performance_gops / limit if limit > 0 else 0.0
+
+
+class RooflineModel:
+    """A set of ceilings plus placement/classification helpers."""
+
+    #: Relative tolerance inside which a point counts as *balanced*.
+    BALANCE_TOLERANCE = 0.02
+
+    def __init__(self, ceilings: Sequence[Ceiling]) -> None:
+        self.memory_ceilings = [c for c in ceilings if c.kind is CeilingKind.MEMORY]
+        self.compute_ceilings = [c for c in ceilings if c.kind is CeilingKind.COMPUTE]
+        if not self.memory_ceilings:
+            raise ConfigError("a roofline needs at least one memory ceiling")
+        if not self.compute_ceilings:
+            raise ConfigError("a roofline needs at least one compute ceiling")
+
+    # -- lookups -------------------------------------------------------------
+
+    def memory_ceiling(self, name: Optional[str] = None) -> Ceiling:
+        return self._find(self.memory_ceilings, name)
+
+    def compute_ceiling(self, name: Optional[str] = None) -> Ceiling:
+        return self._find(self.compute_ceilings, name)
+
+    @staticmethod
+    def _find(pool: List[Ceiling], name: Optional[str]) -> Ceiling:
+        if name is None:
+            return max(pool, key=lambda c: c.value)
+        for c in pool:
+            if c.name == name:
+                return c
+        raise ConfigError(f"no ceiling named {name!r}")
+
+    # -- model ------------------------------------------------------------------
+
+    def attainable_gops(
+        self,
+        opi: float,
+        compute: Optional[str] = None,
+        memory: Optional[str] = None,
+    ) -> float:
+        """``min(Ccomp, OpI x BW)`` for the selected ceilings."""
+        if opi <= 0:
+            raise ConfigError("operational intensity must be positive")
+        c = self.compute_ceiling(compute).value
+        m = self.memory_ceiling(memory).value * opi
+        return c if c < m else m
+
+    def ridge_point(self, compute: Optional[str] = None,
+                    memory: Optional[str] = None) -> float:
+        """OpI at which the design becomes compute-bound."""
+        return (self.compute_ceiling(compute).value
+                / self.memory_ceiling(memory).value)
+
+    def classify(self, opi: float, compute: Optional[str] = None,
+                 memory: Optional[str] = None) -> Bound:
+        c = self.compute_ceiling(compute).value
+        m = self.memory_ceiling(memory).value * opi
+        if abs(c - m) <= self.BALANCE_TOLERANCE * max(c, m):
+            return Bound.BALANCED
+        return Bound.COMPUTE if c < m else Bound.MEMORY
+
+    def place(
+        self,
+        name: str,
+        opi: float,
+        compute: Optional[str] = None,
+        memory: Optional[str] = None,
+        measured_gops: Optional[float] = None,
+    ) -> RooflinePoint:
+        """Place a design point; uses ``measured_gops`` when supplied,
+        the model's attainable value otherwise."""
+        perf = (measured_gops if measured_gops is not None
+                else self.attainable_gops(opi, compute, memory))
+        return RooflinePoint(
+            name=name,
+            opi=opi,
+            performance_gops=perf,
+            bound=self.classify(opi, compute, memory),
+            compute_ceiling_gops=self.compute_ceiling(compute).value,
+            memory_ceiling_gbps=self.memory_ceiling(memory).value,
+        )
+
+    @staticmethod
+    def speedup(points: Iterable[RooflinePoint],
+                baseline: RooflinePoint) -> dict:
+        """Speedups of every point relative to ``baseline`` (Table V's SU)."""
+        base = baseline.performance_gops
+        if base <= 0:
+            raise ConfigError("baseline performance must be positive")
+        return {p.name: p.performance_gops / base for p in points}

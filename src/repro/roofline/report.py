@@ -1,0 +1,103 @@
+"""Terminal rendering of rooflines and point tables.
+
+The benchmark harness prints these instead of matplotlib figures: a
+log-log ASCII roofline (Fig. 7-style) and aligned tables of design
+points.  Rendering is deliberately dependency-free so it works in CI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .ceilings import Ceiling, CeilingKind
+from .model import RooflineModel, RooflinePoint
+
+
+def _log_pos(value: float, lo: float, hi: float, width: int) -> int:
+    """Map ``value`` onto 0..width-1 on a log scale."""
+    if value <= lo:
+        return 0
+    if value >= hi:
+        return width - 1
+    frac = (math.log10(value) - math.log10(lo)) / (math.log10(hi) - math.log10(lo))
+    return int(round(frac * (width - 1)))
+
+
+def render_roofline(
+    model: RooflineModel,
+    points: Sequence[RooflinePoint],
+    *,
+    width: int = 72,
+    height: int = 20,
+    opi_range: tuple = (1.0, 1000.0),
+) -> str:
+    """ASCII log-log roofline: ceilings as lines, points as ``*``.
+
+    The x axis is operational intensity (OPS/B), the y axis GOPS.
+    """
+    perf_values = [p.performance_gops for p in points]
+    for c in model.compute_ceilings:
+        perf_values.append(c.value)
+    for m in model.memory_ceilings:
+        perf_values.append(m.value * opi_range[1])
+        perf_values.append(m.value * opi_range[0])
+    lo_y = max(min(perf_values) / 2.0, 1e-3)
+    hi_y = max(perf_values) * 2.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    # Memory ceilings: slanted lines performance = BW * OpI.
+    for m in model.memory_ceilings:
+        for col in range(width):
+            frac = col / (width - 1)
+            opi = 10 ** (math.log10(opi_range[0])
+                         + frac * (math.log10(opi_range[1]) - math.log10(opi_range[0])))
+            perf = min(m.value * opi, hi_y)
+            row = height - 1 - _log_pos(perf, lo_y, hi_y, height)
+            if grid[row][col] == " ":
+                grid[row][col] = "/"
+    # Compute ceilings: horizontal lines.
+    for c in model.compute_ceilings:
+        row = height - 1 - _log_pos(c.value, lo_y, hi_y, height)
+        for col in range(width):
+            if grid[row][col] == " ":
+                grid[row][col] = "-"
+    # Points.
+    for p in points:
+        col = _log_pos(p.opi, opi_range[0], opi_range[1], width)
+        row = height - 1 - _log_pos(p.performance_gops, lo_y, hi_y, height)
+        grid[row][col] = "*"
+
+    lines = ["".join(r) for r in grid]
+    header = (f"Roofline  (x: OpI {opi_range[0]:g}..{opi_range[1]:g} OPS/B, "
+              f"y: {lo_y:.3g}..{hi_y:.3g} GOPS, log-log)")
+    legend = []
+    for c in model.compute_ceilings:
+        legend.append(f"  - {c.name}: {c.value:,.0f} GOPS")
+    for m in model.memory_ceilings:
+        legend.append(f"  / {m.name}: {m.value:,.1f} GB/s")
+    for p in points:
+        legend.append(f"  * {p.name}: OpI {p.opi:.1f}, "
+                      f"{p.performance_gops:,.0f} GOPS ({p.bound.value}-bound)")
+    return "\n".join([header] + lines + legend)
+
+
+def format_points_table(points: Sequence[RooflinePoint],
+                        speedups: dict | None = None) -> str:
+    """Aligned table of roofline points (Table V style)."""
+    rows: List[str] = []
+    head = (f"{'design':<18} {'OpI':>8} {'GOPS':>12} {'bound':>9} "
+            f"{'mem ceiling':>12}")
+    if speedups:
+        head += f" {'SU':>8}"
+    rows.append(head)
+    rows.append("-" * len(head))
+    for p in points:
+        line = (f"{p.name:<18} {p.opi:>8.1f} {p.performance_gops:>12,.0f} "
+                f"{p.bound.value:>9} {p.memory_ceiling_gbps:>10.1f} GB")
+        if speedups:
+            su = speedups.get(p.name)
+            line += f" {su:>7.1f}x" if su is not None else f" {'—':>8}"
+        rows.append(line)
+    return "\n".join(rows)

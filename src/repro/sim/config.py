@@ -1,0 +1,40 @@
+"""Simulation run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Parameters of one simulation run.
+
+    ``cycles`` are fabric-clock (450 MHz) cycles.  Statistics are
+    collected only after ``warmup`` cycles so queue fill-up does not bias
+    steady-state throughput; latency samples are restricted to
+    transactions *issued* inside the measurement window.
+    """
+
+    cycles: int = 12_000
+    """Total fabric cycles to simulate (12k cycles = 26.7 us)."""
+
+    warmup: int = 2_000
+    """Cycles excluded from the measurement window."""
+
+    outstanding: int = 32
+    """Outstanding-transaction credit per master (``Not``).  The paper's
+    *Single* latency scenario uses 1, the *Burst* scenario 32."""
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ConfigError("cycles must be positive")
+        if not 0 <= self.warmup < self.cycles:
+            raise ConfigError("warmup must lie inside the run")
+        if self.outstanding < 1:
+            raise ConfigError("outstanding must be >= 1")
+
+    @property
+    def measured_cycles(self) -> int:
+        return self.cycles - self.warmup

@@ -1,0 +1,216 @@
+"""Statistics collection for simulation runs.
+
+Latency aggregation uses Welford's online algorithm (numerically stable,
+single pass, O(1) memory) so million-transaction runs do not accumulate
+sample lists.  Throughput is derived from completed bytes inside the
+measurement window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..axi.transaction import AxiTransaction
+from ..params import HbmPlatform, gbps
+from ..types import Direction
+
+
+class OnlineStats:
+    """Welford online mean/variance accumulator."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Round-trip latency summary in accelerator-clock cycles."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    @classmethod
+    def from_online(cls, s: OnlineStats) -> "LatencySummary":
+        if s.count == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        return cls(s.count, s.mean, s.std, s.min, s.max)
+
+
+@dataclass
+class SimReport:
+    """Everything one simulation run measured."""
+
+    cycles: int
+    warmup: int
+    fabric_clock_hz: int
+    read_bytes: int
+    write_bytes: int
+    read_latency: LatencySummary
+    write_latency: LatencySummary
+    issued: int
+    completed: int
+    in_flight_at_end: int
+    per_pch_bytes: List[int]
+    per_master_bytes: List[int]
+    fabric_name: str = ""
+
+    # -- derived -----------------------------------------------------------------
+
+    @property
+    def measured_cycles(self) -> int:
+        return self.cycles - self.warmup
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.measured_cycles / self.fabric_clock_hz
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def read_gbps(self) -> float:
+        return gbps(self.read_bytes / self.elapsed_seconds)
+
+    @property
+    def write_gbps(self) -> float:
+        return gbps(self.write_bytes / self.elapsed_seconds)
+
+    @property
+    def total_gbps(self) -> float:
+        return gbps(self.total_bytes / self.elapsed_seconds)
+
+    def fraction_of_peak(self, platform: HbmPlatform) -> float:
+        """Throughput as a fraction of the device's theoretical peak."""
+        peak = gbps(platform.device_peak_bytes_per_s)
+        return self.total_gbps / peak if peak else 0.0
+
+    def active_pchs(self, threshold_fraction: float = 0.01) -> int:
+        """Channels that carried at least ``threshold_fraction`` of the mean
+        per-channel traffic — the paper's effective channel count Nch_eff."""
+        total = sum(self.per_pch_bytes)
+        if total == 0:
+            return 0
+        mean = total / len(self.per_pch_bytes)
+        return sum(1 for b in self.per_pch_bytes if b >= threshold_fraction * mean)
+
+    def summary(self) -> str:
+        return (f"[{self.fabric_name}] RD {self.read_gbps:7.2f} GB/s  "
+                f"WR {self.write_gbps:7.2f} GB/s  total {self.total_gbps:7.2f} GB/s  "
+                f"lat RD {self.read_latency.mean:7.1f}±{self.read_latency.std:<7.1f} "
+                f"WR {self.write_latency.mean:7.1f}±{self.write_latency.std:<7.1f} "
+                f"(accel cycles)")
+
+
+class StatsCollector:
+    """Accumulates per-run statistics during simulation.
+
+    Throughput is measured at the DRAM: the engine snapshots the
+    pseudo-channels' committed beat counters at the end of warmup and the
+    report uses the delta — posted write acknowledgements therefore never
+    inflate bandwidth with queue fill-up.  Latencies and distribution
+    histograms come from per-transaction completions.
+    """
+
+    def __init__(self, platform: HbmPlatform, warmup: int) -> None:
+        self.platform = platform
+        self.warmup = warmup
+        self.read_bytes = 0
+        self.write_bytes = 0
+        self.read_latency = OnlineStats()
+        self.write_latency = OnlineStats()
+        self.per_pch_bytes = [0] * platform.num_pch
+        self.per_master_bytes = [0] * platform.num_masters
+        self._dram_baseline: Optional[tuple] = None
+        self._dram_final: Optional[tuple] = None
+
+    def record(self, txn: AxiTransaction, cycle: int) -> None:
+        if cycle < self.warmup:
+            return
+        nbytes = txn.num_bytes
+        if txn.is_read:
+            self.read_bytes += nbytes
+        else:
+            self.write_bytes += nbytes
+        if 0 <= txn.pch < len(self.per_pch_bytes):
+            self.per_pch_bytes[txn.pch] += nbytes
+        self.per_master_bytes[txn.master] += nbytes
+        if txn.issue_cycle >= self.warmup:
+            lat_fabric = txn.complete_cycle - txn.issue_cycle
+            lat_accel = lat_fabric * self.platform.clock_ratio
+            if txn.is_read:
+                self.read_latency.add(lat_accel)
+            else:
+                self.write_latency.add(lat_accel)
+
+    # -- DRAM-side accounting ---------------------------------------------------
+
+    @staticmethod
+    def _dram_totals(pchs) -> tuple:
+        rd = sum(p.counters.read_beats for p in pchs)
+        wr = sum(p.counters.write_beats for p in pchs)
+        return rd, wr
+
+    def snapshot_dram(self, pchs) -> None:
+        """Called by the engine when the warmup window ends."""
+        self._dram_baseline = self._dram_totals(pchs)
+
+    def finalize_dram(self, pchs) -> None:
+        """Called by the engine at the end of the run."""
+        self._dram_final = self._dram_totals(pchs)
+
+    def report(self, cycles: int, *, issued: int, completed: int,
+               fabric_name: str) -> SimReport:
+        read_bytes, write_bytes = self.read_bytes, self.write_bytes
+        if self._dram_baseline is not None and self._dram_final is not None:
+            bpb = self.platform.bytes_per_beat
+            read_bytes = (self._dram_final[0] - self._dram_baseline[0]) * bpb
+            write_bytes = (self._dram_final[1] - self._dram_baseline[1]) * bpb
+        return SimReport(
+            cycles=cycles,
+            warmup=self.warmup,
+            fabric_clock_hz=self.platform.fabric_clock_hz,
+            read_bytes=read_bytes,
+            write_bytes=write_bytes,
+            read_latency=LatencySummary.from_online(self.read_latency),
+            write_latency=LatencySummary.from_online(self.write_latency),
+            issued=issued,
+            completed=completed,
+            in_flight_at_end=issued - completed,
+            per_pch_bytes=self.per_pch_bytes,
+            per_master_bytes=self.per_master_bytes,
+            fabric_name=fabric_name,
+        )

@@ -1,0 +1,49 @@
+"""Traffic generators for the paper's access patterns.
+
+Table I of the paper spans two axes — channel locality (single vs. cross
+channel) and ordering (strided vs. random) — giving the four basic
+patterns SCS, CCS, SCRA, CCRA.  This package generates exactly those,
+plus the special sweeps of the evaluation section:
+
+* :mod:`repro.traffic.rotation` — the Fig. 4 rotation pattern
+  (master ``m`` -> PCH ``(m+i) mod 32``),
+* :mod:`repro.traffic.stride` — the Fig. 5 stride-length sweep,
+* :mod:`repro.traffic.mix` — read/write-ratio sequencing (Fig. 2),
+* :mod:`repro.traffic.hotspot` — explicit hot-spot traffic for tests.
+"""
+
+from .mix import direction_sequence
+from .patterns import (
+    PatternSource,
+    ScsSource,
+    CcsSource,
+    ScraSource,
+    CcraSource,
+    make_pattern_sources,
+)
+from .rotation import RotationSource, make_rotation_sources
+from .stride import StrideSweepSource, make_stride_sources
+from .hotspot import HotspotSource, make_hotspot_sources
+from .replay import (TraceReplaySource, make_replay_sources, save_trace,
+                     load_trace, trace_to_array)
+
+__all__ = [
+    "direction_sequence",
+    "PatternSource",
+    "ScsSource",
+    "CcsSource",
+    "ScraSource",
+    "CcraSource",
+    "make_pattern_sources",
+    "RotationSource",
+    "make_rotation_sources",
+    "StrideSweepSource",
+    "make_stride_sources",
+    "HotspotSource",
+    "make_hotspot_sources",
+    "TraceReplaySource",
+    "make_replay_sources",
+    "save_trace",
+    "load_trace",
+    "trace_to_array",
+]

@@ -1,0 +1,59 @@
+"""Explicit hot-spot traffic: every master targets one pseudo-channel.
+
+Under the vendor's contiguous address map the plain CCS pattern already
+*is* a hot-spot (all data lives in PCH 0); this source makes the target
+channel explicit so the hot-spot can be reproduced under *any* address
+map — used by the unit tests and by ablation studies that pin the
+bottleneck to a chosen channel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.address_map import AddressMap, ContiguousMap
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+from ..types import Direction, RWRatio, TWO_TO_ONE
+from .patterns import PatternSource
+
+
+class HotspotSource(PatternSource):
+    """Collective strided stream into a single explicit PCH."""
+
+    def __init__(
+        self,
+        master: int,
+        target_pch: int,
+        platform: HbmPlatform = DEFAULT_PLATFORM,
+        burst_len: int = 16,
+        rw: RWRatio = TWO_TO_ONE,
+        address_map: Optional[AddressMap] = None,
+        num_masters: Optional[int] = None,
+    ) -> None:
+        super().__init__(master, platform, burst_len, rw)
+        self.address_map = address_map or ContiguousMap(platform)
+        self.target_pch = target_pch
+        self.num_masters = num_masters or platform.num_masters
+        half = platform.pch_capacity // 2
+        self._base = {Direction.READ: 0, Direction.WRITE: half}
+        self._size = half
+        self._step = {Direction.READ: 0, Direction.WRITE: 0}
+
+    def _next_address(self, direction: Direction) -> Optional[int]:
+        k = self._step[direction]
+        self._step[direction] = k + 1
+        local = (k * self.num_masters + self.master) * self.burst_bytes
+        local = self._base[direction] + local % self._size
+        return self.address_map.global_of(self.target_pch, local)
+
+
+def make_hotspot_sources(
+    target_pch: int = 0,
+    platform: HbmPlatform = DEFAULT_PLATFORM,
+    burst_len: int = 16,
+    rw: RWRatio = TWO_TO_ONE,
+    address_map: Optional[AddressMap] = None,
+) -> List[HotspotSource]:
+    """One hot-spot source per bus master."""
+    return [HotspotSource(m, target_pch, platform, burst_len, rw, address_map)
+            for m in range(platform.num_masters)]

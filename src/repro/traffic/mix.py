@@ -1,0 +1,45 @@
+"""Read/write-ratio sequencing.
+
+The paper's Fig. 2 sweeps the ratio of concurrent read and write
+transactions ``RWrat``; accelerators commonly run 2:1 (read two inputs,
+write one output — exactly the matrix-multiply accelerator A of
+Sec. V).  :func:`direction_sequence` turns a ratio into a repeating
+direction schedule that interleaves the two directions as evenly as
+possible, which is how an accelerator's load and store units naturally
+overlap (and what keeps the DRAM scheduler's grouping honest — a
+pathological RRR...WWW schedule would hide turnaround costs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..types import Direction, RWRatio
+
+
+def direction_sequence(rw: RWRatio) -> List[Direction]:
+    """An evenly interleaved repeating schedule for ``rw``.
+
+    Examples: ``2:1 -> [R, R, W]``; ``1:1 -> [R, W]``; ``3:2 ->
+    [R, W, R, W, R]``; ``1:0 -> [R]``.
+
+    Uses Bresenham-style error accumulation so the heavier direction is
+    spread uniformly through the period.
+    """
+    r, w = rw.reads, rw.writes
+    if w == 0:
+        return [Direction.READ]
+    if r == 0:
+        return [Direction.WRITE]
+    total = r + w
+    seq: List[Direction] = []
+    for i in range(total):
+        # Reads are emitted whenever the running read quota crosses an
+        # integer boundary; this spreads the heavier direction uniformly.
+        if (i + 1) * r // total > i * r // total:
+            seq.append(Direction.READ)
+        else:
+            seq.append(Direction.WRITE)
+    assert seq.count(Direction.READ) == r
+    assert seq.count(Direction.WRITE) == w
+    return seq

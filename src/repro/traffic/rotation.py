@@ -1,0 +1,59 @@
+"""Rotation traffic of Fig. 4: master ``m`` -> PCH ``(m + offset) mod 32``.
+
+The paper uses this pattern to expose the lateral-bus limits of the
+segmented switch fabric: "assigning every BM m through an offset i a
+unique PCH m + i mod Nch_max".  Every PCH serves exactly one master
+(contiguous SCS-style bursts), so the DRAM itself is never the
+bottleneck; any loss comes from the interconnect.  Offsets larger than
+``num_pch / 2`` are equivalent to a rotation in the other direction
+because the fabric is symmetric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.address_map import AddressMap, ContiguousMap
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+from ..types import Direction, RWRatio, TWO_TO_ONE
+from .patterns import PatternSource
+
+
+class RotationSource(PatternSource):
+    """Strided single-destination traffic to a rotated PCH."""
+
+    def __init__(
+        self,
+        master: int,
+        offset: int,
+        platform: HbmPlatform = DEFAULT_PLATFORM,
+        burst_len: int = 16,
+        rw: RWRatio = TWO_TO_ONE,
+        address_map: Optional[AddressMap] = None,
+    ) -> None:
+        super().__init__(master, platform, burst_len, rw)
+        self.address_map = address_map or ContiguousMap(platform)
+        self.offset = offset
+        self.pch = (platform.local_pch_of_master(master) + offset) % platform.num_pch
+        half = platform.pch_capacity // 2
+        self._base = {Direction.READ: 0, Direction.WRITE: half}
+        self._size = half
+        self._pos = {Direction.READ: 0, Direction.WRITE: 0}
+
+    def _next_address(self, direction: Direction) -> Optional[int]:
+        off = self._pos[direction]
+        local = self._base[direction] + off
+        self._pos[direction] = (off + self.burst_bytes) % self._size
+        return self.address_map.global_of(self.pch, local)
+
+
+def make_rotation_sources(
+    offset: int,
+    platform: HbmPlatform = DEFAULT_PLATFORM,
+    burst_len: int = 16,
+    rw: RWRatio = TWO_TO_ONE,
+    address_map: Optional[AddressMap] = None,
+) -> List[RotationSource]:
+    """One rotation source per bus master."""
+    return [RotationSource(m, offset, platform, burst_len, rw, address_map)
+            for m in range(platform.num_masters)]

@@ -1,0 +1,71 @@
+"""Stride-length sweep traffic of Fig. 5.
+
+The 32 masters collectively walk a strided window sequence: at step ``k``
+master ``b`` accesses the ``b``-th 512 B chunk of the window starting at
+``k * stride``, i.e. address ``k * stride + b * 512``.
+
+* ``stride < 16 KB`` (= 32 masters x 512 B): consecutive windows overlap,
+  so "the same data is always accessed by several subsequent BMs" — the
+  masters drift out of lockstep and collide on pseudo-channels.
+* ``stride == 16 KB``: windows tile the address space exactly; under MAO
+  interleaving every master stays locked to its own channel.
+* ``stride > 256 KB``: each master's per-channel address advances a full
+  bank-rotation per step, so every transaction re-activates the same
+  bank — DRAM page misses dominate (tRC-bound).
+
+Writes mirror the read structure in a disjoint half of the device so a
+mixed read/write ratio can be swept too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+from ..types import Direction, RWRatio, TWO_TO_ONE
+from .patterns import PatternSource
+
+
+class StrideSweepSource(PatternSource):
+    """One master's share of the collective strided window walk."""
+
+    def __init__(
+        self,
+        master: int,
+        stride: int,
+        platform: HbmPlatform = DEFAULT_PLATFORM,
+        burst_len: int = 16,
+        rw: RWRatio = TWO_TO_ONE,
+    ) -> None:
+        super().__init__(master, platform, burst_len, rw)
+        if stride <= 0 or stride % self.burst_bytes:
+            raise ConfigError(
+                f"stride must be a positive multiple of the access size "
+                f"({self.burst_bytes} B), got {stride}")
+        self.stride = stride
+        half = platform.total_capacity // 2
+        # Wrap at a stride multiple so the walk stays aligned.
+        self._wrap = (half // stride) * stride
+        if self._wrap == 0:
+            raise ConfigError("stride larger than half the device capacity")
+        self._lane_offset = master * self.burst_bytes
+        self._base = {Direction.READ: 0, Direction.WRITE: half}
+        self._step = {Direction.READ: 0, Direction.WRITE: 0}
+
+    def _next_address(self, direction: Direction) -> Optional[int]:
+        k = self._step[direction]
+        self._step[direction] = k + 1
+        window = (k * self.stride) % self._wrap
+        return self._base[direction] + window + self._lane_offset
+
+
+def make_stride_sources(
+    stride: int,
+    platform: HbmPlatform = DEFAULT_PLATFORM,
+    burst_len: int = 16,
+    rw: RWRatio = TWO_TO_ONE,
+) -> List[StrideSweepSource]:
+    """One stride-sweep source per bus master."""
+    return [StrideSweepSource(m, stride, platform, burst_len, rw)
+            for m in range(platform.num_masters)]

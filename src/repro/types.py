@@ -1,0 +1,135 @@
+"""Shared enumerations and small value types used across the package.
+
+These mirror the vocabulary of the paper:
+
+* :class:`Direction` — AXI read vs. write channel.
+* :class:`Locality` — *single channel* (SC) vs. *cross channel* (CC) access,
+  i.e. whether a bus master is restricted to its directly attached
+  pseudo-channel or addresses the whole device (Table I of the paper).
+* :class:`Order` — *strided* (S) vs. *random access* (RA) address sequences
+  (Table I of the paper).
+* :class:`Pattern` — the four combinations SCS / CCS / SCRA / CCRA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Direction(enum.Enum):
+    """AXI transfer direction."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_read(self) -> bool:
+        return self is Direction.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self is Direction.WRITE
+
+
+class Locality(enum.Enum):
+    """Channel locality of a bus master's accesses (Table I)."""
+
+    SINGLE_CHANNEL = "SC"
+    CROSS_CHANNEL = "CC"
+
+
+class Order(enum.Enum):
+    """Ordering of the generated address sequence (Table I)."""
+
+    STRIDE = "S"
+    RANDOM = "RA"
+
+
+class Pattern(enum.Enum):
+    """The four basic access patterns of Table I."""
+
+    SCS = ("SC", "S")
+    CCS = ("CC", "S")
+    SCRA = ("SC", "RA")
+    CCRA = ("CC", "RA")
+
+    def __init__(self, locality: str, order: str) -> None:
+        self._locality = Locality(locality)
+        self._order = Order(order)
+
+    @property
+    def locality(self) -> Locality:
+        return self._locality
+
+    @property
+    def order(self) -> Order:
+        return self._order
+
+    @property
+    def is_single_channel(self) -> bool:
+        return self._locality is Locality.SINGLE_CHANNEL
+
+    @property
+    def is_random(self) -> bool:
+        return self._order is Order.RANDOM
+
+
+class FabricKind(enum.Enum):
+    """Which interconnect connects the bus masters to the pseudo-channels."""
+
+    XLNX = "xlnx"
+    """The Xilinx-style segmented switch network with lateral connections."""
+
+    MAO = "mao"
+    """The paper's Memory Access Optimizer hierarchical network."""
+
+    IDEAL = "ideal"
+    """A zero-contention reference crossbar (used for sanity checks)."""
+
+
+@dataclass(frozen=True)
+class RWRatio:
+    """A ratio of concurrent read to write transactions, e.g. ``2:1``.
+
+    The paper (Fig. 2) sweeps this ratio at a fixed 300 MHz accelerator
+    clock; ``RWRatio(2, 1)`` issues two read transactions for every write
+    transaction. ``RWRatio(1, 0)`` is read-only and ``RWRatio(0, 1)`` is
+    write-only.
+    """
+
+    reads: int
+    writes: int
+
+    def __post_init__(self) -> None:
+        if self.reads < 0 or self.writes < 0:
+            raise ValueError("ratio components must be non-negative")
+        if self.reads == 0 and self.writes == 0:
+            raise ValueError("ratio must include at least one direction")
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of transactions that are reads."""
+        return self.reads / (self.reads + self.writes)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of transactions that are writes."""
+        return self.writes / (self.reads + self.writes)
+
+    @property
+    def read_only(self) -> bool:
+        return self.writes == 0
+
+    @property
+    def write_only(self) -> bool:
+        return self.reads == 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.reads}:{self.writes}"
+
+
+READ_ONLY = RWRatio(1, 0)
+WRITE_ONLY = RWRatio(0, 1)
+TWO_TO_ONE = RWRatio(2, 1)
+ONE_TO_ONE = RWRatio(1, 1)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import HbmPlatform, DEFAULT_PLATFORM
+
+
+@pytest.fixture(scope="session")
+def platform() -> HbmPlatform:
+    """The paper's full 32-PCH platform."""
+    return DEFAULT_PLATFORM
+
+
+@pytest.fixture(scope="session")
+def small_platform() -> HbmPlatform:
+    """A 2-switch / 8-PCH / 8-master platform for fast fabric tests."""
+    return HbmPlatform(num_pch=8, pch_capacity=64 * 1024 * 1024)
+
+
+def run_pattern(fabric, sources, cycles=4000, warmup=1000, outstanding=32):
+    """Convenience one-shot simulation used across test modules."""
+    from repro.sim import Engine, SimConfig
+    cfg = SimConfig(cycles=cycles, warmup=warmup, outstanding=outstanding)
+    return Engine(fabric, sources, cfg).run()

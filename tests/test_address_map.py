@@ -1,0 +1,139 @@
+"""Unit and property tests for the address-mapping schemes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.address_map import ContiguousMap, InterleavedMap
+from repro.errors import AddressError, ConfigError
+from repro.params import DEFAULT_PLATFORM, HbmPlatform
+
+PLAT = DEFAULT_PLATFORM
+CAP = PLAT.total_capacity
+
+addresses = st.integers(min_value=0, max_value=CAP - 1)
+
+
+class TestContiguousMap:
+    def setup_method(self):
+        self.m = ContiguousMap(PLAT)
+
+    def test_first_pch_holds_first_slice(self):
+        assert self.m.pch_of(0) == 0
+        assert self.m.pch_of(PLAT.pch_capacity - 1) == 0
+        assert self.m.pch_of(PLAT.pch_capacity) == 1
+
+    def test_last_byte(self):
+        assert self.m.pch_of(CAP - 1) == 31
+
+    def test_local_offsets(self):
+        assert self.m.local_of(PLAT.pch_capacity + 5) == 5
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressError):
+            self.m.pch_of(CAP)
+        with pytest.raises(AddressError):
+            self.m.pch_of(-1)
+
+    def test_global_of_inverse(self):
+        a = 3 * PLAT.pch_capacity + 12345
+        assert self.m.global_of(*self.m.decompose(a)) == a
+
+    def test_global_of_range_checks(self):
+        with pytest.raises(AddressError):
+            self.m.global_of(32, 0)
+        with pytest.raises(AddressError):
+            self.m.global_of(0, PLAT.pch_capacity)
+
+    @given(addresses)
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, a):
+        pch, local = self.m.decompose(a)
+        assert 0 <= pch < 32
+        assert 0 <= local < PLAT.pch_capacity
+        assert self.m.global_of(pch, local) == a
+
+    def test_contiguous_buffer_hotspot(self):
+        """Sec. II: a linearly copied buffer lands in one PCH."""
+        pchs = {self.m.pch_of(a) for a in range(0, 1 << 20, 4096)}
+        assert pchs == {0}
+
+
+class TestInterleavedMap:
+    def setup_method(self):
+        self.m = InterleavedMap(PLAT)
+
+    def test_default_granularity_512(self):
+        assert self.m.granularity == 512
+        assert self.m.period == 512 * 32 == 16 * 1024
+
+    def test_consecutive_chunks_rotate(self):
+        assert [self.m.pch_of(i * 512) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_wraps_after_period(self):
+        assert self.m.pch_of(self.m.period) == 0
+        assert self.m.local_of(self.m.period) == 512
+
+    def test_within_chunk_same_pch(self):
+        base = 5 * 512
+        assert self.m.pch_of(base) == self.m.pch_of(base + 511) == 5
+
+    def test_burst_never_straddles(self):
+        """A maximal 512 B AXI burst aligned to its size stays in one PCH."""
+        for start in range(0, 10 * 16384, 512):
+            assert len(self.m.pchs_of_burst(start, 512)) == 1
+
+    @given(addresses)
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, a):
+        pch, local = self.m.decompose(a)
+        assert 0 <= pch < 32
+        assert 0 <= local < PLAT.pch_capacity
+        assert self.m.global_of(pch, local) == a
+
+    @given(st.integers(min_value=0, max_value=2 ** 20 - 1))
+    @settings(max_examples=100)
+    def test_distinct_addresses_distinct_cells(self, chunk):
+        """Bijectivity: two different addresses never share a cell."""
+        a = chunk * 512
+        b = a + 512
+        assert self.m.decompose(a) != self.m.decompose(b)
+
+    def test_contiguous_buffer_spreads(self):
+        """The MAO adaption: contiguous data touches all channels."""
+        pchs = {self.m.pch_of(a) for a in range(0, 16 * 1024, 512)}
+        assert pchs == set(range(32))
+
+    def test_granularity_validation(self):
+        with pytest.raises(ConfigError):
+            InterleavedMap(PLAT, granularity=100)  # not beat multiple
+        with pytest.raises(ConfigError):
+            InterleavedMap(PLAT, granularity=0)
+
+    def test_granularity_must_divide_capacity(self):
+        with pytest.raises(ConfigError):
+            InterleavedMap(PLAT, granularity=3 * 32)
+
+    def test_alternate_granularity(self):
+        m = InterleavedMap(PLAT, granularity=4096)
+        assert m.pch_of(0) == 0
+        assert m.pch_of(4096) == 1
+        a = 123 * 4096 + 17
+        assert m.global_of(*m.decompose(a)) == a
+
+
+class TestCrossMapIndependence:
+    def test_maps_disagree_by_design(self):
+        """The same global address lands on different channels under the
+        two schemes (that is the whole point of the MAO remap)."""
+        c, i = ContiguousMap(PLAT), InterleavedMap(PLAT)
+        disagreements = sum(
+            1 for a in range(0, 1 << 20, 512) if c.pch_of(a) != i.pch_of(a))
+        assert disagreements > 1900  # nearly all of the 2048 samples
+
+    def test_small_platform_maps(self):
+        p = HbmPlatform(num_pch=8, pch_capacity=64 * 1024 * 1024)
+        m = InterleavedMap(p)
+        assert m.period == 8 * 512
+        a = 7 * 512 + 13
+        assert m.pch_of(a) == 7
+        assert m.global_of(*m.decompose(a)) == a

@@ -1,0 +1,165 @@
+"""Unit and property tests for the AXI transaction and master port."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axi import AxiTransaction, MasterPort, check_burst_legal
+from repro.errors import AxiProtocolError, SimulationError
+from repro.params import DEFAULT_PLATFORM
+from repro.types import Direction
+
+
+class TestBurstLegality:
+    def test_legal_bursts(self):
+        for bl in (1, 2, 4, 8, 16):
+            check_burst_legal(0, bl)
+
+    def test_burst_len_bounds(self):
+        with pytest.raises(AxiProtocolError):
+            check_burst_legal(0, 0)
+        with pytest.raises(AxiProtocolError):
+            check_burst_legal(0, 17)
+
+    def test_unaligned_address(self):
+        with pytest.raises(AxiProtocolError):
+            check_burst_legal(33, 1)
+
+    def test_negative_address(self):
+        with pytest.raises(AxiProtocolError):
+            check_burst_legal(-32, 1)
+
+    def test_4kb_boundary_crossing(self):
+        # 16 beats starting 128 B before a 4 KB boundary crosses it.
+        with pytest.raises(AxiProtocolError):
+            check_burst_legal(4096 - 128, 16)
+
+    def test_4kb_boundary_touch_is_legal(self):
+        check_burst_legal(4096 - 512, 16)  # ends exactly at the boundary
+
+    @given(st.integers(min_value=0, max_value=2 ** 20),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=200)
+    def test_size_aligned_bursts_always_legal(self, chunk, bl_exp):
+        """Any power-of-two burst aligned to its own size is legal."""
+        bl = 1 << (bl_exp.bit_length() - 1)  # power of two <= bl_exp
+        size = bl * 32
+        check_burst_legal(chunk * size, bl)
+
+
+class TestAxiTransaction:
+    def test_basic_properties(self):
+        t = AxiTransaction(3, Direction.READ, 4096, 16)
+        assert t.is_read and not t.is_write
+        assert t.num_bytes == 512
+        assert t.end_address == 4096 + 512
+        assert t.master == 3
+
+    def test_latency_none_until_complete(self):
+        t = AxiTransaction(0, Direction.WRITE, 0, 4)
+        assert t.latency is None
+        t.issue_cycle = 10
+        t.complete_cycle = 110
+        assert t.latency == 100
+
+    def test_unique_uids(self):
+        a = AxiTransaction(0, Direction.READ, 0, 1)
+        b = AxiTransaction(0, Direction.READ, 0, 1)
+        assert a.uid != b.uid
+
+    def test_validation_can_be_skipped(self):
+        # Traffic generators produce known-legal addresses.
+        t = AxiTransaction(0, Direction.READ, 4096 - 128, 16, validate=False)
+        assert t.burst_len == 16
+
+    def test_validation_enabled_by_default(self):
+        with pytest.raises(AxiProtocolError):
+            AxiTransaction(0, Direction.READ, 1, 1)
+
+
+class _ListSource:
+    """Feeds a fixed list of transactions."""
+
+    def __init__(self, txns):
+        self.txns = list(txns)
+
+    def next_txn(self, cycle):
+        return self.txns.pop(0) if self.txns else None
+
+
+class _AcceptAllFabric:
+    def __init__(self):
+        self.submitted = []
+
+    def submit(self, txn, cycle):
+        self.submitted.append((txn, cycle))
+        return True
+
+
+class _RejectFabric:
+    def submit(self, txn, cycle):
+        return False
+
+
+def _txn(direction=Direction.READ, bl=16):
+    return AxiTransaction(0, direction, 0, bl, validate=False)
+
+
+class TestMasterPort:
+    def test_outstanding_limit(self):
+        src = _ListSource([_txn() for _ in range(10)])
+        mp = MasterPort(0, DEFAULT_PLATFORM, src, outstanding_limit=4)
+        fab = _AcceptAllFabric()
+        for c in range(100):
+            mp.step(c, fab)
+        assert mp.issued == 4  # blocked on credits
+
+    def test_credits_released_on_completion(self):
+        src = _ListSource([_txn() for _ in range(3)])
+        mp = MasterPort(0, DEFAULT_PLATFORM, src, outstanding_limit=1)
+        fab = _AcceptAllFabric()
+        mp.step(0, fab)
+        assert mp.issued == 1
+        txn = fab.submitted[0][0]
+        mp.on_complete(txn, 5)
+        for c in range(6, 20):
+            mp.step(c, fab)
+        assert mp.issued >= 2
+
+    def test_write_pacing_at_accel_clock(self):
+        """A 16-beat write costs 24 fabric cycles of issue budget at the
+        2/3 clock ratio (9.6 GB/s per port)."""
+        src = _ListSource([_txn(Direction.WRITE) for _ in range(100)])
+        mp = MasterPort(0, DEFAULT_PLATFORM, src, outstanding_limit=100)
+        fab = _AcceptAllFabric()
+        for c in range(240):
+            mp.step(c, fab)
+        assert mp.issued == pytest.approx(10, abs=1)
+
+    def test_read_addresses_cheap_to_issue(self):
+        """Read address phases cost one accelerator cycle each."""
+        src = _ListSource([_txn(Direction.READ) for _ in range(100)])
+        mp = MasterPort(0, DEFAULT_PLATFORM, src, outstanding_limit=100)
+        fab = _AcceptAllFabric()
+        for c in range(30):
+            mp.step(c, fab)
+        assert mp.issued >= 19  # ~2 fabric cycles per 1.5-cycle AR
+
+    def test_backpressure_stages_transaction(self):
+        src = _ListSource([_txn()])
+        mp = MasterPort(0, DEFAULT_PLATFORM, src)
+        mp.step(0, _RejectFabric())
+        assert mp.issued == 0
+        assert not mp.idle  # staged
+        mp.step(1, _AcceptAllFabric())
+        assert mp.issued == 1
+
+    def test_exhausted_source(self):
+        mp = MasterPort(0, DEFAULT_PLATFORM, _ListSource([]))
+        mp.step(0, _AcceptAllFabric())
+        assert mp.exhausted
+        assert mp.idle
+
+    def test_over_completion_raises(self):
+        mp = MasterPort(0, DEFAULT_PLATFORM, _ListSource([]))
+        with pytest.raises(SimulationError):
+            mp.on_complete(_txn(), 0)

@@ -1,0 +1,380 @@
+"""Unit tests for the DRAM models: banks, pseudo-channel, controller."""
+
+import pytest
+
+from repro.axi import AxiTransaction
+from repro.dram.bank import BankSet
+from repro.dram.controller import MemoryController, SchedulerConfig
+from repro.dram.pch import PseudoChannel
+from repro.errors import ConfigError
+from repro.params import DramTiming
+from repro.types import Direction
+
+
+def _t(**kw):
+    return DramTiming(**kw)
+
+
+class TestBankSet:
+    def test_first_access_is_miss(self):
+        b = BankSet(_t())
+        ready, hit = b.access(0, 0.0)
+        assert not hit
+        assert ready == _t().t_rcd  # closed bank: activate only
+
+    def test_second_access_same_row_hits(self):
+        b = BankSet(_t())
+        b.access(0, 0.0)
+        ready, hit = b.access(512, 100.0)
+        assert hit
+        assert ready == 100.0
+
+    def test_row_change_pays_precharge_and_activate(self):
+        t = _t()
+        b = BankSet(t)
+        b.access(0, 0.0)
+        # Same bank (row num_banks apart), different row.
+        local = t.row_bytes * t.num_banks
+        ready, hit = b.access(local, 1000.0)
+        assert not hit
+        assert ready == 1000.0 + t.t_rp + t.t_rcd
+
+    def test_trc_limits_same_bank_reactivation(self):
+        t = _t()
+        b = BankSet(t)
+        b.access(0, 0.0)  # activate bank 0 at cycle 0
+        local = t.row_bytes * t.num_banks  # bank 0 again, new row
+        ready, hit = b.access(local, 1.0)
+        # Activate cannot start before tRC after the first activate.
+        assert ready >= t.t_rc + t.t_rp + t.t_rcd - 1
+
+    def test_trrd_limits_cross_bank_activation(self):
+        t = _t()
+        b = BankSet(t)
+        b.access(0, 0.0)
+        ready, hit = b.access(t.row_bytes, 0.0)  # different bank
+        assert not hit
+        assert ready >= t.t_rrd + t.t_rcd
+
+    def test_would_hit(self):
+        b = BankSet(_t())
+        assert not b.would_hit(0)
+        b.access(0, 0.0)
+        assert b.would_hit(100)
+        assert not b.would_hit(_t().row_bytes * _t().num_banks)
+
+    def test_hit_rate_accounting(self):
+        b = BankSet(_t())
+        b.access(0, 0.0)
+        b.access(32, 0.0)
+        b.access(64, 0.0)
+        assert b.activates == 1
+        assert b.row_hits == 2
+        assert b.hit_rate == pytest.approx(2 / 3)
+
+    def test_bank_of(self):
+        t = _t()
+        b = BankSet(t)
+        assert b.bank_of(0) == 0
+        assert b.bank_of(t.row_bytes) == 1
+        assert b.bank_of(t.row_bytes * t.num_banks) == 0
+
+
+def _rd(addr=0, bl=16, master=0):
+    t = AxiTransaction(master, Direction.READ, addr, bl, validate=False)
+    t.local = addr
+    t.pch = 0
+    return t
+
+
+def _wr(addr=0, bl=16, master=0):
+    t = AxiTransaction(master, Direction.WRITE, addr, bl, validate=False)
+    t.local = addr
+    t.pch = 0
+    return t
+
+
+def _pch(timing=None, phase=10 ** 9):
+    """A pseudo-channel with refresh pushed far away by default."""
+    timing = timing or _t(t_refi=10 ** 9)
+    return PseudoChannel(0, timing, refresh_phase=0, port_ratio=2 / 3)
+
+
+class TestPseudoChannel:
+    def test_sequential_stream_saturates_bus(self):
+        pch = _pch()
+        start0, _ = pch.service(_rd(0), 0, 0.0)
+        start1, _ = pch.service(_rd(512), 0, 0.0)
+        # Second transfer begins right after the first (open row).
+        assert start1 == start0 + 16
+
+    def test_turnaround_penalty(self):
+        t = _t(t_refi=10 ** 9)
+        pch = _pch(t)
+        pch.service(_rd(0), 0, 0.0)
+        start, _ = pch.service(_wr(64), 0, 0.0)
+        # Write after read pays the rd->wr turnaround on top of the bus.
+        assert start >= 16 + t.t_turnaround_rd_to_wr
+        assert pch.counters.turnarounds == 1
+
+    def test_port_gate_limits_unidirectional_rate(self):
+        """Long-run read rate = 2/3 beat per fabric cycle (9.6 GB/s)."""
+        t = _t(t_refi=10 ** 9)
+        pch = _pch(t)
+        cycle = 0
+        served = 0
+        for _ in range(200):
+            while not pch.channel_open(True, cycle):
+                cycle += 1
+            pch.service(_rd((served * 512) % (1 << 20)), cycle, 0.0)
+            served += 1
+        # Each txn占 24 cycles of channel debt.
+        assert pch.chan_debt[0] == pytest.approx(served * 24, rel=0.05)
+
+    def test_refresh_blocks_bus(self):
+        t = _t(t_refi=1000, t_rfc=125)
+        pch = PseudoChannel(0, t, refresh_phase=0, port_ratio=2 / 3)
+        # Before the first interval elapses, no refresh interferes.
+        start, _ = pch.service(_rd(0), 0, 0.0)
+        assert start < t.t_rfc
+        assert pch.counters.refreshes == 0
+        # A service after the interval pays the refresh window.
+        start, _ = pch.service(_rd(512), 1000, 0.0)
+        assert start >= 1000 + t.t_rfc
+        assert pch.counters.refreshes == 1
+
+    def test_refresh_overhead_fraction(self):
+        """Sustained stream loses ~t_rfc/t_refi of the bus."""
+        t = _t(t_refi=1000, t_rfc=125)
+        pch = PseudoChannel(0, t, refresh_phase=0, port_ratio=2 / 3)
+        cycle, served = 0, 0
+        horizon = 20_000
+        while cycle < horizon:
+            if pch.ready_for_service(cycle, 48.0) and pch.channel_open(True, cycle):
+                pch.service(_rd((served * 512) % (1 << 20)), cycle, 0.0)
+                served += 1
+            cycle += 1
+        assert pch.counters.refreshes == pytest.approx(horizon / 1000, abs=2)
+
+    def test_read_exit_includes_cas_latency(self):
+        t = _t(t_refi=10 ** 9)
+        pch = _pch(t)
+        start, exit_time = pch.service(_rd(0), 0, 0.0)
+        assert exit_time == start + 16 + t.cas_latency
+
+    def test_write_exit_includes_write_latency(self):
+        t = _t(t_refi=10 ** 9)
+        pch = _pch(t)
+        start, exit_time = pch.service(_wr(0), 0, 0.0)
+        assert exit_time == start + 16 + t.write_latency
+
+    def test_miss_gap_applies_to_irregular_streams(self):
+        t = _t(t_refi=10 ** 9)
+        pch = _pch(t)
+        # Irregular row sequence: every access a miss with varying stride.
+        rows = [0, 7, 3, 11, 5, 13, 2, 9]
+        for i, r in enumerate(rows):
+            pch.service(_rd(r * t.row_bytes), 0, 0.0)
+        assert pch.counters.miss_gaps > 0
+
+    def test_miss_gap_spares_regular_strides(self):
+        t = _t(t_refi=10 ** 9)
+        pch = _pch(t)
+        # Constant row stride 2: all misses, but regular.
+        for i in range(16):
+            pch.service(_rd(i * 2 * t.row_bytes), 0, 0.0)
+        assert pch.counters.miss_gaps <= 1  # only before regularity detected
+
+    def test_miss_gap_spares_streams_with_hits(self):
+        t = _t(t_refi=10 ** 9)
+        pch = _pch(t)
+        for i in range(32):
+            pch.service(_rd(i * 512), 0, 0.0)  # 2 txns per row: miss,hit
+        assert pch.counters.miss_gaps == 0
+
+    def test_ready_for_service_horizon(self):
+        pch = _pch()
+        assert pch.ready_for_service(0, 48.0)
+        pch.bus_free = 100.0
+        assert not pch.ready_for_service(0, 48.0)
+        assert pch.ready_for_service(60, 48.0)
+
+    def test_utilization(self):
+        pch = _pch()
+        pch.service(_rd(0), 0, 0.0)
+        assert pch.utilization(32) == pytest.approx(0.5)
+        assert pch.utilization(0) == 0.0
+
+
+class _Harness:
+    """Collects MC callbacks."""
+
+    def __init__(self):
+        self.read_data = []
+        self.write_accepts = []
+        self.space = True
+
+    def on_read_data(self, txn, time):
+        self.read_data.append((txn, time))
+
+    def on_write_accept(self, txn, time):
+        self.write_accepts.append((txn, time))
+
+    def response_space(self, pch):
+        return self.space
+
+
+def _mc(sched=None, harness=None, timing=None):
+    h = harness or _Harness()
+    t = timing or _t(t_refi=10 ** 9)
+    pchs = [PseudoChannel(0, t, port_ratio=2 / 3),
+            PseudoChannel(1, t, port_ratio=2 / 3)]
+    mc = MemoryController(
+        0, pchs, t, sched or SchedulerConfig(),
+        on_read_data=h.on_read_data,
+        on_write_accept=h.on_write_accept,
+        response_space=h.response_space,
+        mc_latency=0)
+    return mc, h
+
+
+class TestSchedulerConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(window=0)
+        with pytest.raises(ConfigError):
+            SchedulerConfig(reorder_depth=0)
+        with pytest.raises(ConfigError):
+            SchedulerConfig(window=16, queue_capacity=8)
+
+
+class TestMemoryController:
+    def test_accept_and_posted_write(self):
+        mc, h = _mc()
+        txn = _wr(0)
+        assert mc.try_accept(txn, 5)
+        assert txn.accept_cycle == 5
+        assert len(h.write_accepts) == 1  # B response posted on accept
+
+    def test_queue_backpressure(self):
+        sched = SchedulerConfig(queue_capacity=16, window=16)
+        mc, h = _mc(sched)
+        accepted = 0
+        for i in range(30):
+            if mc.try_accept(_rd(i * 512), 0):
+                accepted += 1
+        assert accepted == 16
+
+    def test_reads_produce_data_after_exit(self):
+        mc, h = _mc()
+        mc.try_accept(_rd(0), 0)
+        for c in range(200):
+            mc.step(c)
+        assert len(h.read_data) == 1
+
+    def test_wrong_pch_rejected(self):
+        mc, _ = _mc()
+        txn = _rd(0)
+        txn.pch = 5
+        with pytest.raises(ConfigError):
+            mc.try_accept(txn, 0)
+
+    def test_response_backpressure_stalls_reads(self):
+        mc, h = _mc()
+        h.space = False
+        mc.try_accept(_rd(0), 0)
+        for c in range(100):
+            mc.step(c)
+        assert not h.read_data
+        h.space = True
+        for c in range(100, 300):
+            mc.step(c)
+        assert len(h.read_data) == 1
+
+    def test_row_hit_preferred_within_window(self):
+        """FR-FCFS: a row hit behind a miss is serviced first."""
+        t = _t(t_refi=10 ** 9)
+        mc, h = _mc(timing=t)
+        pch = mc.pchs[0]
+        pch.banks.access(0, 0.0)  # open row 0
+        miss = _rd(t.row_bytes * t.num_banks)  # same bank, other row
+        hit = _rd(512)  # open row
+        mc.try_accept(miss, 0)
+        mc.try_accept(hit, 0)
+        mc.step(0)
+        # The hit transaction should have been picked first.
+        assert hit.accept_cycle is not None
+        assert pch.counters.txns_serviced >= 1
+        first_served_hit = pch.banks.row_hits >= 1
+        assert first_served_hit
+
+    def test_reorder_depth_one_keeps_master_order(self):
+        sched = SchedulerConfig(reorder_depth=1)
+        mc, h = _mc(sched)
+        t = _t(t_refi=10 ** 9)
+        pch = mc.pchs[0]
+        pch.banks.access(0, 0.0)
+        # Same master: miss then hit; depth 1 must serve the miss first.
+        miss = _rd(t.row_bytes * t.num_banks, master=7)
+        hit = _rd(512, master=7)
+        mc.try_accept(miss, 0)
+        mc.try_accept(hit, 0)
+        for c in range(300):
+            mc.step(c)
+        assert [x[0].uid for x in h.read_data] == [miss.uid, hit.uid]
+
+    def test_in_flight_accounting(self):
+        mc, h = _mc()
+        assert mc.in_flight() == 0
+        mc.try_accept(_rd(0), 0)
+        assert mc.in_flight() == 1
+        for c in range(200):
+            mc.step(c)
+        assert mc.in_flight() == 0
+
+    def test_command_path_shared_between_pchs(self):
+        """BL1 streams to both PCHs are command-bound: ~1.2 cycles/txn."""
+        t = _t(t_refi=10 ** 9)
+        mc, h = _mc(timing=t)
+        for i in range(8):
+            for pch_idx in (0, 1):
+                txn = _rd(i * 512, bl=1)
+                txn.pch = pch_idx
+                mc.try_accept(txn, 0)
+        mc.step(0)
+        assert mc.cmd_free >= 1.2 * 4  # several command slots consumed
+
+
+class TestPerBankRefresh:
+    def test_recovers_streaming_bandwidth(self):
+        """Per-bank refresh overlaps with other banks' accesses, so a
+        sequential stream loses almost nothing."""
+        t_all = _t(t_refi=1755, t_rfc=125)
+        t_pb = _t(t_refi=1755, t_rfc=125, per_bank_refresh=True, t_rfc_pb=25)
+        results = {}
+        for name, timing in (("all", t_all), ("pb", t_pb)):
+            pch = PseudoChannel(0, timing, refresh_phase=0, port_ratio=2 / 3)
+            cycle, served = 0, 0
+            while cycle < 20_000:
+                if (pch.ready_for_service(cycle, 48.0)
+                        and pch.channel_open(True, cycle)):
+                    pch.service(_rd((served * 512) % (1 << 20)), cycle, 0.0)
+                    served += 1
+                cycle += 1
+            results[name] = pch.counters.beats_transferred
+        assert results["pb"] > results["all"]
+
+    def test_per_bank_refresh_counts(self):
+        """One refresh per t_refi/num_banks interval."""
+        t = _t(t_refi=1600, per_bank_refresh=True, t_rfc_pb=25)
+        pch = PseudoChannel(0, t, refresh_phase=0, port_ratio=2 / 3)
+        pch.service(_rd(0), 1600, 0.0)
+        # 1600 cycles at one per-bank refresh per 100 cycles.
+        assert pch.counters.refreshes == pytest.approx(16, abs=1)
+
+    def test_refreshing_bank_blocks_its_activates(self):
+        t = _t(t_refi=1600, per_bank_refresh=True, t_rfc_pb=50)
+        pch = PseudoChannel(0, t, refresh_phase=0, port_ratio=2 / 3)
+        # First per-bank refresh due at t_refi/num_banks = 100, bank 0.
+        start, _ = pch.service(_rd(0), 100, 0.0)  # bank 0 access
+        assert start >= 100 + 50  # waits for bank 0's refresh window

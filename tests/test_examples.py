@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed as a subprocess with a short simulation horizon;
+the assertions check the narrative output each one promises.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py", "--cycles", "2500")
+    assert "analytical estimates" in out
+    assert "cycle-level measurement" in out
+    assert "CRITICAL" in out  # the hot-spot guideline fires
+    assert "interleave" in out
+
+
+def test_matmul_design_space():
+    out = _run("matmul_design_space.py", "--cycles", "2500", "--n", "128")
+    assert "systolic array : OK" in out
+    assert "adder tree     : OK" in out
+    assert "Roofline" in out
+    assert "P=8" in out  # the paper's design choice
+
+
+def test_graph_workload():
+    out = _run("graph_workload.py", "--nodes", "3000", "--cycles", "2500")
+    assert "identical BFS results" in out
+    assert "speeds up" in out
+
+
+def test_future_platform():
+    out = _run("future_platform.py", "--cycles", "2500")
+    assert "future (4 stacks)" in out
+    assert "hot-spot returns" in out
+    assert "450 MHz" in out
+
+
+def test_future_accelerator():
+    out = _run("future_accelerator.py", "--cycles", "2500")
+    assert "broadcast dataflow validated" in out
+    assert "best implementable design: accelerator-A-linear" in out
+
+
+def test_stencil_weather():
+    out = _run("stencil_weather.py", "--grid", "128", "--cycles", "2500")
+    assert "diffusion sweeps" in out and "OK" in out
+    assert "memory-bound" in out
+    assert "speeds up" in out

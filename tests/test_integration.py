@@ -1,0 +1,134 @@
+"""Cross-model integration tests.
+
+The repository contains three independent performance models — the cycle
+simulator, the closed-form estimator, and the max-min flow model.  They
+share parameters but not code paths, so agreement between them is a
+strong correctness signal.  This module also runs a functional
+end-to-end scenario through the byte-level memory model.
+"""
+
+import numpy as np
+import pytest
+
+from repro import make_fabric
+from repro.accelerators import systolic_matmul
+from repro.core.address_map import InterleavedMap
+from repro.core.estimator import BandwidthEstimator, EstimateInputs
+from repro.fabric.flow import rotation_throughput_gbps
+from repro.memory import HbmMemory
+from repro.params import DEFAULT_PLATFORM
+from repro.sim import Engine, SimConfig
+from repro.traffic import make_pattern_sources, make_rotation_sources
+from repro.types import FabricKind, Pattern, RWRatio, TWO_TO_ONE
+
+CYCLES = 6_000
+
+
+def _simulate(fabric_kind, pattern, rw=TWO_TO_ONE, burst_len=16):
+    fab = make_fabric(fabric_kind)
+    src = make_pattern_sources(pattern, DEFAULT_PLATFORM, burst_len=burst_len,
+                               rw=rw, address_map=fab.address_map, seed=11)
+    return Engine(fab, src, SimConfig(cycles=CYCLES, warmup=1500)).run()
+
+
+class TestEstimatorVsSimulator:
+    """The estimator must predict the simulator within its error bars for
+    the regimes where its constraints are exact."""
+
+    CASES = [
+        # (fabric, pattern, rw, tolerance)
+        (FabricKind.XLNX, Pattern.SCS, TWO_TO_ONE, 0.05),
+        (FabricKind.XLNX, Pattern.SCS, RWRatio(1, 0), 0.05),
+        (FabricKind.XLNX, Pattern.CCS, TWO_TO_ONE, 0.08),
+        (FabricKind.XLNX, Pattern.CCS, RWRatio(1, 0), 0.08),
+        (FabricKind.MAO, Pattern.CCS, TWO_TO_ONE, 0.05),
+        (FabricKind.MAO, Pattern.CCS, RWRatio(1, 0), 0.05),
+        (FabricKind.MAO, Pattern.CCS, RWRatio(0, 1), 0.05),
+    ]
+
+    @pytest.mark.parametrize("fabric,pattern,rw,tol", CASES)
+    def test_agreement(self, fabric, pattern, rw, tol):
+        est = BandwidthEstimator().estimate(
+            EstimateInputs(fabric=fabric, pattern=pattern, rw=rw))
+        sim = _simulate(fabric, pattern, rw)
+        assert sim.total_gbps == pytest.approx(est.total_gbps, rel=tol)
+
+
+class TestFlowVsSimulator:
+    """The flow model upper-bounds the cycle simulation (it ignores
+    head-of-line blocking and dead cycles) and tracks it closely where
+    those effects are small."""
+
+    @pytest.mark.parametrize("offset", [0, 1, 2, 4])
+    def test_flow_upper_bounds_sim(self, offset):
+        fab = make_fabric(FabricKind.XLNX)
+        src = make_rotation_sources(offset, address_map=fab.address_map)
+        sim = Engine(fab, src, SimConfig(cycles=CYCLES, warmup=1500)).run()
+        flow = rotation_throughput_gbps(offset)
+        assert sim.total_gbps <= flow * 1.05
+        if offset <= 2:
+            # Single-hop regimes: within 10 %.
+            assert sim.total_gbps >= flow * 0.90
+
+
+class TestFunctionalEndToEnd:
+    def test_matmul_through_hbm_memory(self):
+        """Full data path: matrices stored in interleaved HBM, read back,
+        multiplied with the systolic dataflow, result written back."""
+        mem = HbmMemory(InterleavedMap(DEFAULT_PLATFORM))
+        rng = np.random.default_rng(5)
+        n = 64
+        a = rng.integers(-128, 127, size=(n, n), dtype=np.int8)
+        b = rng.integers(-128, 127, size=(n, n), dtype=np.int8)
+        a_addr, b_addr, c_addr = 0, n * n, 2 * n * n
+        mem.write_array(a_addr, a)
+        mem.write_array(b_addr, b)
+        a_back = mem.read_array(a_addr, (n, n), np.int8)
+        b_back = mem.read_array(b_addr, (n, n), np.int8)
+        c, stats = systolic_matmul(a_back, b_back, tile=16)
+        mem.write_array(c_addr, c)
+        np.testing.assert_array_equal(
+            mem.read_array(c_addr, (n, n), np.int32),
+            a.astype(np.int32) @ b.astype(np.int32))
+        # The matrices really are scattered over all 32 channels.
+        assert len(mem.touched_pchs()) == 32
+
+    def test_measured_bandwidth_feeds_cycle_estimate(self):
+        """Close the methodology loop: measure BW, predict runtime."""
+        from repro.accelerators import AcceleratorA, make_accelerator_sources
+        from repro.accelerators.base import AcceleratorConfig
+        model = AcceleratorA(AcceleratorConfig(p=8, matrix_n=1024))
+        fab = make_fabric(FabricKind.MAO)
+        rep = Engine(fab, make_accelerator_sources(model),
+                     SimConfig(cycles=CYCLES, warmup=1500)).run()
+        cycles = model.cycle_estimate(rep.total_gbps)
+        # P=8 with MAO sits right at its ridge point for N=1024, so the
+        # estimate lands within a few percent of the pure compute time
+        # (N cycles per tile pass).
+        passes = (1024 / model.array_dim) ** 2
+        assert cycles == pytest.approx(passes * 1024, rel=0.08)
+
+
+class TestPlatformScaling:
+    """The whole stack works on non-default geometries."""
+
+    def test_future_64_channel_device(self):
+        from repro.params import HbmPlatform
+        platform = HbmPlatform(num_pch=64, pch_capacity=128 * 1024 * 1024)
+        from repro.fabric import MaoFabric
+        fab = MaoFabric(platform)
+        src = make_pattern_sources(Pattern.CCS, platform)
+        rep = Engine(fab, src, SimConfig(cycles=3000, warmup=800)).run()
+        # Twice the channels, about twice the strided bandwidth.
+        assert rep.total_gbps > 700
+        assert rep.active_pchs() == 64
+
+    def test_single_switch_device(self):
+        from repro.params import HbmPlatform
+        from repro.fabric import SegmentedFabric
+        platform = HbmPlatform(num_pch=4, pch_capacity=64 * 1024 * 1024)
+        fab = SegmentedFabric(platform)
+        src = make_pattern_sources(Pattern.SCS, platform,
+                                   address_map=fab.address_map)
+        rep = Engine(fab, src, SimConfig(cycles=3000, warmup=800)).run()
+        assert rep.total_gbps > 0.8 * 4 * 13.0

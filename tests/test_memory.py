@@ -1,0 +1,126 @@
+"""Tests for the functional HBM contents model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.address_map import ContiguousMap, InterleavedMap
+from repro.errors import AddressError
+from repro.memory import HbmMemory
+from repro.params import DEFAULT_PLATFORM
+
+
+class TestBasicReadWrite:
+    def test_roundtrip_contiguous(self):
+        mem = HbmMemory(ContiguousMap(DEFAULT_PLATFORM))
+        data = bytes(range(256))
+        mem.write(1000 * 32, data)
+        assert bytes(mem.read(1000 * 32, 256)) == data
+
+    def test_roundtrip_interleaved(self):
+        mem = HbmMemory(InterleavedMap(DEFAULT_PLATFORM))
+        data = bytes((i * 7) % 256 for i in range(4096))
+        mem.write(12345 * 32, data)
+        assert bytes(mem.read(12345 * 32, 4096)) == data
+
+    def test_write_spanning_interleave_chunks(self):
+        """A write across chunk boundaries scatters but reads back whole."""
+        mem = HbmMemory(InterleavedMap(DEFAULT_PLATFORM))
+        data = bytes(range(200)) * 10  # 2000 B spans 4+ chunks
+        mem.write(300, data)
+        assert bytes(mem.read(300, len(data))) == data
+        assert len(mem.touched_pchs()) >= 4
+
+    def test_unwritten_reads_fill(self):
+        mem = HbmMemory(fill=0xAB)
+        assert set(mem.read(0, 64).tolist()) == {0xAB}
+
+    def test_out_of_range(self):
+        mem = HbmMemory()
+        with pytest.raises(AddressError):
+            mem.read(mem.address_map.capacity - 10, 20)
+        with pytest.raises(AddressError):
+            mem.write(-1, b"x")
+        with pytest.raises(AddressError):
+            mem.read(0, -1)
+
+    def test_lazy_allocation(self):
+        mem = HbmMemory()
+        assert mem.resident_bytes == 0
+        mem.write(0, b"hello")
+        assert mem.resident_bytes == 1 << 20
+
+    def test_counters(self):
+        mem = HbmMemory()
+        mem.write(0, b"abc")
+        mem.read(0, 3)
+        assert mem.bytes_written == 3
+        assert mem.bytes_read == 3
+
+    def test_empty_write(self):
+        mem = HbmMemory()
+        mem.write(0, b"")
+        assert mem.resident_bytes == 0
+
+
+class TestScattering:
+    def test_interleaved_spreads_large_buffer(self):
+        """The MAO map physically scatters a contiguous buffer over all
+        channels; the contiguous map keeps it on one."""
+        imem = HbmMemory(InterleavedMap(DEFAULT_PLATFORM))
+        cmem = HbmMemory(ContiguousMap(DEFAULT_PLATFORM))
+        buf = np.arange(64 * 1024, dtype=np.uint8)
+        imem.write(0, buf)
+        cmem.write(0, buf)
+        assert len(imem.touched_pchs()) == 32
+        assert len(cmem.touched_pchs()) == 1
+
+    def test_maps_same_logical_content(self):
+        """Logical contents are identical regardless of physical map."""
+        a = HbmMemory(InterleavedMap(DEFAULT_PLATFORM))
+        b = HbmMemory(ContiguousMap(DEFAULT_PLATFORM))
+        data = bytes((i * 31) % 256 for i in range(10_000))
+        a.write(7777, data)
+        b.write(7777, data)
+        assert bytes(a.read(7777, 10_000)) == bytes(b.read(7777, 10_000))
+
+
+class TestArrays:
+    def test_array_roundtrip(self):
+        mem = HbmMemory(InterleavedMap(DEFAULT_PLATFORM))
+        m = np.arange(64 * 48, dtype=np.int32).reshape(64, 48)
+        mem.write_array(4096, m)
+        back = mem.read_array(4096, (64, 48), np.int32)
+        np.testing.assert_array_equal(m, back)
+
+    def test_int8_matrix(self):
+        mem = HbmMemory(InterleavedMap(DEFAULT_PLATFORM))
+        rng = np.random.default_rng(0)
+        m = rng.integers(-128, 127, size=(32, 32), dtype=np.int8)
+        mem.write_array(0, m)
+        np.testing.assert_array_equal(mem.read_array(0, (32, 32), np.int8), m)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 20),
+       st.binary(min_size=1, max_size=3000))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(offset, data):
+    """Anything written through the interleaved map reads back intact."""
+    mem = HbmMemory(InterleavedMap(DEFAULT_PLATFORM))
+    mem.write(offset, data)
+    assert bytes(mem.read(offset, len(data))) == data
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=100_000),
+                          st.binary(min_size=1, max_size=200)),
+                min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_overlapping_writes_match_reference(writes):
+    """A sequence of (possibly overlapping) writes behaves like a flat
+    byte array."""
+    mem = HbmMemory(InterleavedMap(DEFAULT_PLATFORM))
+    reference = bytearray(101_000)
+    for offset, data in writes:
+        mem.write(offset, data)
+        reference[offset:offset + len(data)] = data
+    assert bytes(mem.read(0, len(reference))) == bytes(reference)

@@ -1,0 +1,57 @@
+"""Tests for the process-parallel sweep helper."""
+
+import os
+
+import pytest
+
+from repro.experiments.parallel import default_workers, parallel_sweep
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_tag(x):
+    return (x, os.getpid())
+
+
+class TestParallelSweep:
+    def test_inline_path(self):
+        assert parallel_sweep(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_empty(self):
+        assert parallel_sweep(_square, [], workers=4) == []
+
+    def test_single_item_runs_inline(self):
+        out = parallel_sweep(_pid_tag, [7], workers=4)
+        assert out == [(7, os.getpid())]
+
+    def test_pool_preserves_order(self):
+        out = parallel_sweep(_square, list(range(10)), workers=2)
+        assert out == [x * x for x in range(10)]
+
+    def test_pool_actually_uses_processes(self):
+        out = parallel_sweep(_pid_tag, list(range(6)), workers=3)
+        values = [v for v, _pid in out]
+        assert values == list(range(6))
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "bogus")
+        assert default_workers() >= 1
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() >= 1
+
+    def test_fig3_sweep_parallel_matches_serial(self):
+        """Determinism across execution strategies."""
+        from repro.experiments import fig3_burst_length as f3
+        from repro.types import Pattern
+        kwargs = dict(cycles=1500, patterns=(Pattern.SCS,),
+                      burst_lengths=(1, 16))
+        serial = f3.run(workers=1, **kwargs)
+        parallel = f3.run(workers=2, **kwargs)
+        assert [(r.pattern, r.direction, r.burst_len, r.total_gbps)
+                for r in serial] == \
+               [(r.pattern, r.direction, r.burst_len, r.total_gbps)
+                for r in parallel]

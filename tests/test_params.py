@@ -1,0 +1,149 @@
+"""Unit tests for the platform/timing parameter layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import (
+    BYTES_PER_BEAT, DEFAULT_PLATFORM, DEVICE_PEAK_BYTES_PER_S, DramTiming,
+    FabricTiming, HbmPlatform, NUM_PCH, PCH_CAPACITY, PCH_PEAK_BYTES_PER_S,
+    TOTAL_CAPACITY, gbps,
+)
+
+
+class TestDeviceConstants:
+    def test_pch_count_matches_paper(self):
+        assert NUM_PCH == 32
+
+    def test_total_capacity_is_8_gb(self):
+        assert TOTAL_CAPACITY == 8 * 1024 ** 3
+
+    def test_pch_capacity(self):
+        assert PCH_CAPACITY * NUM_PCH == TOTAL_CAPACITY
+        assert PCH_CAPACITY == 256 * 1024 ** 2
+
+    def test_beat_is_32_bytes(self):
+        assert BYTES_PER_BEAT == 32
+
+    def test_pch_peak_is_14_4_gbps(self):
+        assert gbps(PCH_PEAK_BYTES_PER_S) == pytest.approx(14.4)
+
+    def test_device_peak_is_460_gbps(self):
+        assert gbps(DEVICE_PEAK_BYTES_PER_S) == pytest.approx(460.8)
+
+
+class TestHbmPlatform:
+    def test_default_geometry(self):
+        p = DEFAULT_PLATFORM
+        assert p.num_switches == 8
+        assert p.num_masters == 32
+        assert p.pch_per_switch == 4
+
+    def test_clock_ratio_two_thirds(self):
+        assert DEFAULT_PLATFORM.clock_ratio == pytest.approx(2 / 3)
+
+    def test_port_peak_is_9_6_gbps(self):
+        assert gbps(DEFAULT_PLATFORM.port_peak_bytes_per_s) == pytest.approx(9.6)
+
+    def test_switch_of_master(self):
+        p = DEFAULT_PLATFORM
+        assert p.switch_of_master(0) == 0
+        assert p.switch_of_master(3) == 0
+        assert p.switch_of_master(4) == 1
+        assert p.switch_of_master(31) == 7
+
+    def test_switch_of_pch(self):
+        p = DEFAULT_PLATFORM
+        assert p.switch_of_pch(0) == 0
+        assert p.switch_of_pch(3) == 0
+        assert p.switch_of_pch(4) == 1
+        assert p.switch_of_pch(31) == 7
+
+    def test_mc_of_pch(self):
+        p = DEFAULT_PLATFORM
+        assert p.mc_of_pch(0) == 0
+        assert p.mc_of_pch(1) == 0
+        assert p.mc_of_pch(2) == 1
+        assert p.mc_of_pch(31) == 15
+
+    def test_local_pch_identity_mapping(self):
+        p = DEFAULT_PLATFORM
+        for m in range(p.num_masters):
+            assert p.local_pch_of_master(m) == m
+
+    def test_master_index_out_of_range(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_PLATFORM.switch_of_master(32)
+        with pytest.raises(ConfigError):
+            DEFAULT_PLATFORM.switch_of_master(-1)
+
+    def test_pch_index_out_of_range(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_PLATFORM.switch_of_pch(32)
+
+    def test_accel_clock_cannot_exceed_fabric(self):
+        with pytest.raises(ConfigError):
+            HbmPlatform(accel_clock_hz=500_000_000)
+
+    def test_num_pch_must_divide_into_switches(self):
+        with pytest.raises(ConfigError):
+            HbmPlatform(num_pch=6)
+
+    def test_with_accel_clock(self):
+        p = DEFAULT_PLATFORM.with_accel_clock(450_000_000)
+        assert p.clock_ratio == pytest.approx(1.0)
+        assert DEFAULT_PLATFORM.accel_clock_hz == 300_000_000  # unchanged
+
+    def test_small_platform_geometry(self):
+        p = HbmPlatform(num_pch=8, pch_capacity=64 * 1024 * 1024)
+        assert p.num_switches == 2
+        assert p.num_masters == 8
+
+    def test_cycle_conversions(self):
+        p = DEFAULT_PLATFORM
+        assert p.fabric_cycles_to_seconds(450_000_000) == pytest.approx(1.0)
+        assert p.accel_cycles(3.0) == pytest.approx(2.0)
+
+
+class TestDramTiming:
+    def test_defaults_valid(self):
+        t = DramTiming()
+        assert t.beats_per_row == t.row_bytes // BYTES_PER_BEAT
+
+    def test_refresh_overhead_in_paper_band(self):
+        """Xilinx states 7-9 % refresh loss."""
+        t = DramTiming()
+        assert 0.07 <= t.refresh_overhead <= 0.09
+
+    def test_row_bytes_must_align(self):
+        with pytest.raises(ConfigError):
+            DramTiming(row_bytes=33)
+
+    def test_trc_covers_trp_plus_trcd(self):
+        with pytest.raises(ConfigError):
+            DramTiming(t_rc=5, t_rp=7, t_rcd=7)
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ConfigError):
+            DramTiming(cas_latency=-1)
+
+    def test_banks_positive(self):
+        with pytest.raises(ConfigError):
+            DramTiming(num_banks=0)
+
+    def test_sixteen_banks_default(self):
+        assert DramTiming().num_banks == 16
+
+
+class TestFabricTiming:
+    def test_defaults_valid(self):
+        FabricTiming()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            FabricTiming(switch_latency=-1)
+
+    def test_replaceable(self):
+        ft = dataclasses.replace(FabricTiming(), dead_cycles=0)
+        assert ft.dead_cycles == 0

@@ -1,0 +1,121 @@
+"""Tests for the FPGA resource models (device, MAO, utilization)."""
+
+import pytest
+
+from repro.core.mao import MaoConfig, MaoVariant
+from repro.errors import ConfigError, ResourceError
+from repro.resources import (MaoResourceModel, ResourceVector,
+                             UtilizationReport, XCVU37P, check_fits)
+
+
+class TestResourceVector:
+    def test_addition(self):
+        a = ResourceVector(luts=100, ffs=200, bram36=3)
+        b = ResourceVector(luts=50, dsp=10)
+        c = a + b
+        assert (c.luts, c.ffs, c.bram36, c.dsp) == (150, 200, 3, 10)
+
+    def test_scaled(self):
+        v = ResourceVector(luts=100).scaled(2.5)
+        assert v.luts == 250
+
+    def test_le(self):
+        small = ResourceVector(luts=10)
+        big = ResourceVector(luts=20, ffs=5)
+        assert small <= big
+        assert not (big <= small)
+
+
+class TestDevice:
+    def test_capacity_recovered_from_table_iii(self):
+        """285,327 LUTs == 21.89 % implies ~1.3 M LUTs on the XCVU37P."""
+        frac = 285_327 / XCVU37P.capacity.luts
+        assert frac == pytest.approx(0.2189, abs=0.0005)
+
+    def test_ff_capacity(self):
+        frac = 274_879 / XCVU37P.capacity.ffs
+        assert frac == pytest.approx(0.1054, abs=0.0005)
+
+    def test_bram_capacity(self):
+        frac = 260 / XCVU37P.capacity.bram36
+        assert frac == pytest.approx(0.1290, abs=0.0005)
+
+    def test_fits(self):
+        assert XCVU37P.fits(ResourceVector(luts=1_000_000))
+        assert not XCVU37P.fits(ResourceVector(luts=2_000_000))
+
+    def test_require_fits_raises(self):
+        with pytest.raises(ResourceError):
+            XCVU37P.require_fits(ResourceVector(luts=2_000_000))
+
+
+class TestMaoResourceModel:
+    MODEL = MaoResourceModel()
+
+    @pytest.mark.parametrize("variant,stages,luts,ffs,bram,fmax", [
+        (MaoVariant.FULL, 1, 285_327, 274_879, 260, 130),
+        (MaoVariant.FULL, 2, 278_800, 255_122, 260, 150),
+        (MaoVariant.PARTIAL, 1, 152_771, 197_831, 132, 350),
+        (MaoVariant.PARTIAL, 2, 147_798, 251_676, 260, 360),
+    ])
+    def test_table_iii_exact(self, variant, stages, luts, ffs, bram, fmax):
+        r = self.MODEL.estimate(MaoConfig(variant=variant, stages=stages))
+        assert r.resources.luts == luts
+        assert r.resources.ffs == ffs
+        assert r.resources.bram36 == bram
+        assert r.fmax_mhz == fmax
+
+    def test_comparable_to_vendor_fabric(self):
+        """Sec. IV-B: overall size similar to Xilinx' ~250k LUTs."""
+        r = self.MODEL.estimate(MaoConfig(variant=MaoVariant.FULL, stages=1))
+        assert 200_000 <= r.resources.luts <= 350_000
+
+    def test_port_scaling_quadratic_ish(self):
+        small = self.MODEL.estimate(MaoConfig(num_ports=16))
+        full = self.MODEL.estimate(MaoConfig(num_ports=32))
+        assert small.resources.luts < full.resources.luts
+        # Between linear (0.5x) and quadratic (0.25x).
+        ratio = small.resources.luts / full.resources.luts
+        assert 0.25 <= ratio <= 0.5
+
+    def test_bram_linear_in_ports(self):
+        r16 = self.MODEL.estimate(MaoConfig(num_ports=16)).resources.bram36
+        r32 = self.MODEL.estimate(MaoConfig(num_ports=32)).resources.bram36
+        assert (r32 - 4) == pytest.approx(2 * (r16 - 4), abs=1)
+
+    def test_tiny_rejected(self):
+        with pytest.raises(ConfigError):
+            self.MODEL.estimate(MaoConfig(num_ports=1))
+
+    def test_table_iii_has_four_rows(self):
+        assert len(self.MODEL.table_iii()) == 4
+
+    def test_row_renders(self):
+        text = self.MODEL.table_iii()[0].row()
+        assert "LUT" in text and "MHz" in text
+
+
+class TestUtilizationReport:
+    def test_components_sum(self):
+        rep = UtilizationReport("demo")
+        rep.add("core", ResourceVector(luts=100_000))
+        rep.add("mao", ResourceVector(luts=150_000))
+        assert rep.total.luts == 250_000
+        assert rep.fits
+
+    def test_does_not_fit(self):
+        rep = UtilizationReport("huge")
+        rep.add("core", ResourceVector(luts=2_000_000))
+        assert not rep.fits
+        assert "DOES NOT FIT" in rep.summary()
+
+    def test_lut_fraction(self):
+        rep = UtilizationReport("x").add(
+            "c", ResourceVector(luts=XCVU37P.capacity.luts // 2))
+        assert rep.lut_fraction == pytest.approx(0.5)
+
+    def test_check_fits_filter(self):
+        ok = UtilizationReport("ok").add("c", ResourceVector(luts=1))
+        bad = UtilizationReport("bad").add(
+            "c", ResourceVector(luts=2_000_000))
+        assert check_fits(ok, bad) == [ok]

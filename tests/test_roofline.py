@@ -1,0 +1,116 @@
+"""Tests for the Roofline model and rendering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.roofline import (Bound, Ceiling, CeilingKind, RooflineModel,
+                            format_points_table, render_roofline)
+
+
+def _model():
+    return RooflineModel([
+        Ceiling("BW-XLNX", CeilingKind.MEMORY, 12.55),
+        Ceiling("BW-MAO", CeilingKind.MEMORY, 403.75),
+        Ceiling("P4", CeilingKind.COMPUTE, 2458.0),
+        Ceiling("P32", CeilingKind.COMPUTE, 157286.0),
+    ])
+
+
+class TestCeiling:
+    def test_memory_attainable_scales_with_opi(self):
+        c = Ceiling("bw", CeilingKind.MEMORY, 100.0)
+        assert c.attainable(2.0) == 200.0
+
+    def test_compute_attainable_flat(self):
+        c = Ceiling("cc", CeilingKind.COMPUTE, 500.0)
+        assert c.attainable(2.0) == 500.0
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigError):
+            Ceiling("bad", CeilingKind.MEMORY, 0.0)
+
+
+class TestRooflineModel:
+    def test_needs_both_kinds(self):
+        with pytest.raises(ConfigError):
+            RooflineModel([Ceiling("bw", CeilingKind.MEMORY, 1.0)])
+        with pytest.raises(ConfigError):
+            RooflineModel([Ceiling("cc", CeilingKind.COMPUTE, 1.0)])
+
+    def test_attainable_min_rule(self):
+        m = _model()
+        # Memory bound at low OpI with the slow ceiling.
+        assert m.attainable_gops(42.0, "P4", "BW-XLNX") == pytest.approx(
+            42.0 * 12.55)
+        # Compute bound at the same OpI with the fast memory.
+        assert m.attainable_gops(42.0, "P4", "BW-MAO") == pytest.approx(2458.0)
+
+    def test_paper_table_v_su(self):
+        """Reproduce the paper's accelerator-A speedups from the model."""
+        m = _model()
+        base = m.attainable_gops(42.0, "P4", "BW-XLNX")
+        su = m.attainable_gops(42.0, "P4", "BW-MAO") / base
+        assert su == pytest.approx(4.66, rel=0.02)  # paper: 4.6x
+
+    def test_ridge_point(self):
+        m = _model()
+        ridge = m.ridge_point("P4", "BW-MAO")
+        assert ridge == pytest.approx(2458.0 / 403.75)
+        # Just below ridge: memory bound; above: compute bound.
+        assert m.classify(ridge * 0.8, "P4", "BW-MAO") is Bound.MEMORY
+        assert m.classify(ridge * 1.2, "P4", "BW-MAO") is Bound.COMPUTE
+
+    def test_balanced_classification(self):
+        m = _model()
+        ridge = m.ridge_point("P4", "BW-MAO")
+        assert m.classify(ridge, "P4", "BW-MAO") is Bound.BALANCED
+
+    def test_default_ceilings_are_max(self):
+        m = _model()
+        assert m.memory_ceiling().name == "BW-MAO"
+        assert m.compute_ceiling().name == "P32"
+
+    def test_unknown_ceiling(self):
+        with pytest.raises(ConfigError):
+            _model().memory_ceiling("nope")
+
+    def test_invalid_opi(self):
+        with pytest.raises(ConfigError):
+            _model().attainable_gops(0.0)
+
+    def test_place_and_headroom(self):
+        m = _model()
+        p = m.place("A-P4-mao", 42.0, "P4", "BW-MAO")
+        assert p.bound is Bound.COMPUTE
+        assert p.performance_gops == pytest.approx(2458.0)
+        assert p.headroom == pytest.approx(0.0)
+
+    def test_place_measured_value(self):
+        m = _model()
+        p = m.place("meas", 42.0, "P4", "BW-MAO", measured_gops=2000.0)
+        assert p.performance_gops == 2000.0
+        assert p.headroom > 0
+
+    def test_speedup_table(self):
+        m = _model()
+        base = m.place("base", 42.0, "P4", "BW-XLNX")
+        pts = [base, m.place("mao", 42.0, "P4", "BW-MAO")]
+        su = RooflineModel.speedup(pts, base)
+        assert su["base"] == pytest.approx(1.0)
+        assert su["mao"] == pytest.approx(4.66, rel=0.02)
+
+
+class TestRendering:
+    def test_render_contains_marks(self):
+        m = _model()
+        pts = [m.place("A", 42.0, "P4", "BW-MAO"),
+               m.place("B", 328.0, "P32", "BW-MAO")]
+        text = render_roofline(m, pts)
+        assert "*" in text and "/" in text and "-" in text
+        assert "Roofline" in text
+
+    def test_points_table(self):
+        m = _model()
+        pts = [m.place("A", 42.0, "P4", "BW-XLNX")]
+        text = format_points_table(pts, {"A": 1.0})
+        assert "A" in text and "1.0x" in text

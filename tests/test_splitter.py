@@ -1,0 +1,73 @@
+"""Unit and property tests for the AXI burst splitter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axi import split_and_validate, split_request
+from repro.axi.splitter import covered_bytes
+from repro.errors import AxiProtocolError
+
+
+class TestSplitBasics:
+    def test_aligned_single_burst(self):
+        assert split_request(0, 512) == [(0, 16)]
+
+    def test_small_request_one_beat(self):
+        assert split_request(0, 1) == [(0, 1)]
+
+    def test_unaligned_request_widened(self):
+        bursts = split_request(40, 8)  # inside one beat... spans 2 beats
+        assert bursts == [(32, 1)]
+
+    def test_unaligned_spanning_two_beats(self):
+        bursts = split_request(30, 8)
+        assert bursts == [(0, 2)]
+
+    def test_long_request_chops_at_16_beats(self):
+        bursts = split_request(0, 2048)
+        assert bursts == [(0, 16), (512, 16), (1024, 16), (1536, 16)]
+
+    def test_4kb_boundary_cut(self):
+        bursts = split_request(4096 - 128, 256)
+        assert bursts == [(4096 - 128, 4), (4096, 4)]
+
+    def test_chunk_boundary_cut(self):
+        # 512 B interleave chunks: a burst crossing one is split so each
+        # piece stays on a single pseudo-channel.
+        bursts = split_request(256, 512, chunk=512)
+        assert bursts == [(256, 8), (512, 8)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AxiProtocolError):
+            split_request(0, 0)
+        with pytest.raises(AxiProtocolError):
+            split_request(-1, 8)
+        with pytest.raises(AxiProtocolError):
+            split_request(0, 64, chunk=100)
+
+
+@given(st.integers(min_value=0, max_value=1 << 22),
+       st.integers(min_value=1, max_value=20_000),
+       st.sampled_from([None, 512, 4096, 16384]))
+@settings(max_examples=300)
+def test_split_properties(address, num_bytes, chunk):
+    """Coverage, ordering, legality, and chunk containment hold for any
+    request."""
+    bursts = split_and_validate(address, num_bytes, chunk=chunk)
+    # Coverage: bursts tile [floor(address), ceil(end)) exactly.
+    start = address - address % 32
+    end = address + num_bytes
+    end += (-end) % 32
+    assert bursts[0][0] == start
+    assert covered_bytes(bursts) == end - start
+    # Contiguous, ordered, non-overlapping.
+    pos = start
+    for addr, bl in bursts:
+        assert addr == pos
+        assert 1 <= bl <= 16
+        pos = addr + bl * 32
+    assert pos == end
+    # Chunk containment: each burst stays inside one chunk.
+    if chunk is not None:
+        for addr, bl in bursts:
+            assert addr // chunk == (addr + bl * 32 - 1) // chunk

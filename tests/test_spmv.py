@@ -1,0 +1,146 @@
+"""Tests for the SpMV accelerator and its index-driven traffic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import make_fabric
+from repro.accelerators import (SpmvAccelerator, SpmvTrafficSource, csr_spmv,
+                                make_spmv_sources, synthetic_csr)
+from repro.accelerators.base import AcceleratorConfig
+from repro.errors import ConfigError
+from repro.params import DEFAULT_PLATFORM
+from repro.sim import Engine, SimConfig
+from repro.types import FabricKind
+
+
+class TestSyntheticCsr:
+    def test_shape(self):
+        indptr, indices, data = synthetic_csr(100, nnz_per_row=8)
+        assert len(indptr) == 101
+        assert len(indices) == len(data) == 800
+
+    def test_locality_bounds_band(self):
+        n = 1000
+        _p, indices, _d = synthetic_csr(n, locality=0.01, seed=1)
+        rows = np.repeat(np.arange(n), 16)
+        assert np.abs(indices - rows).max() <= max(1, int(0.01 * n))
+
+    def test_full_locality_spreads(self):
+        _p, indices, _d = synthetic_csr(4096, locality=1.0, seed=2)
+        assert indices.min() < 100
+        assert indices.max() > 3900
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            synthetic_csr(0)
+        with pytest.raises(ConfigError):
+            synthetic_csr(10, locality=0.0)
+
+
+class TestCsrSpmv:
+    def test_matches_dense_reference(self):
+        n = 64
+        indptr, indices, data = synthetic_csr(n, nnz_per_row=4, seed=3)
+        x = np.random.default_rng(4).normal(size=n).astype(np.float32)
+        y, stats = csr_spmv(indptr, indices, data, x)
+        dense = np.zeros((n, n), dtype=np.float32)
+        for i in range(n):
+            for k in range(indptr[i], indptr[i + 1]):
+                dense[i, indices[k]] += data[k]
+        np.testing.assert_allclose(y, dense @ x, rtol=1e-4)
+
+    def test_traffic_counts(self):
+        n = 32
+        indptr, indices, data = synthetic_csr(n, nnz_per_row=4, seed=5)
+        x = np.ones(n, dtype=np.float32)
+        _, stats = csr_spmv(indptr, indices, data, x)
+        nnz = 32 * 4
+        assert stats.macs == nnz
+        assert stats.bytes_read == nnz * 12 + (n + 1) * 8
+        assert stats.bytes_written == n * 4
+
+    def test_short_vector_rejected(self):
+        indptr, indices, data = synthetic_csr(16, seed=6)
+        with pytest.raises(ConfigError):
+            csr_spmv(indptr, indices, data, np.ones(2, dtype=np.float32))
+
+    @given(st.integers(min_value=4, max_value=40),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_matrices(self, n, nnz):
+        indptr, indices, data = synthetic_csr(n, nnz, locality=1.0, seed=n)
+        x = np.random.default_rng(n).normal(size=n).astype(np.float32)
+        y, _ = csr_spmv(indptr, indices, data, x)
+        ref = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            for k in range(indptr[i], indptr[i + 1]):
+                ref[i] += float(data[k]) * float(x[indices[k]])
+        np.testing.assert_allclose(y, ref.astype(np.float32), rtol=1e-3)
+
+
+class TestSpmvModel:
+    def test_opi_is_tiny(self):
+        m = SpmvAccelerator(AcceleratorConfig(p=32))
+        assert m.operational_intensity < 0.2
+
+    def test_always_memory_bound(self):
+        m = SpmvAccelerator(AcceleratorConfig(p=32))
+        assert m.is_memory_bound(414.0)
+        assert m.is_memory_bound(13.0)
+
+    def test_reads_dominate(self):
+        m = SpmvAccelerator(AcceleratorConfig(p=4))
+        assert m.rw_ratio.reads >= 8 * m.rw_ratio.writes
+
+    def test_fits_device(self):
+        from repro.resources import XCVU37P
+        m = SpmvAccelerator(AcceleratorConfig(p=32))
+        assert XCVU37P.fits(m.core_resources)
+
+
+class TestSpmvTraffic:
+    def test_sources_generate_legal_mix(self):
+        sources = make_spmv_sources(0.05, n=1 << 16)
+        src = sources[0]
+        kinds = {"gather": 0, "stream": 0, "write": 0}
+        for _ in range(60):
+            t = src.next_txn(0)
+            assert 0 <= t.address < DEFAULT_PLATFORM.total_capacity
+            if t.is_write:
+                kinds["write"] += 1
+            elif t.burst_len == 1:
+                kinds["gather"] += 1
+            else:
+                kinds["stream"] += 1
+        assert kinds["gather"] > kinds["stream"] > 0
+        assert kinds["write"] > 0
+
+    def test_gathers_hit_vector_region(self):
+        sources = make_spmv_sources(0.05, n=1 << 16)
+        src = sources[3]
+        half = DEFAULT_PLATFORM.total_capacity // 2
+        for _ in range(30):
+            t = src.next_txn(0)
+            if t.is_read and t.burst_len == 1:
+                assert t.address >= half
+
+    def test_locality_changes_measured_bandwidth(self):
+        """The S<->RA interpolation: on the vendor fabric, a banded
+        matrix (local gathers) beats a full-bandwidth one."""
+        results = {}
+        for loc in (0.001, 1.0):
+            fab = make_fabric(FabricKind.MAO)
+            src = make_spmv_sources(loc, n=1 << 20)
+            rep = Engine(fab, src, SimConfig(cycles=3000, warmup=800)).run()
+            results[loc] = rep.total_gbps
+        assert results[0.001] != pytest.approx(results[1.0], rel=0.02)
+
+    def test_mao_beats_vendor_for_spmv(self):
+        results = {}
+        for kind in (FabricKind.XLNX, FabricKind.MAO):
+            fab = make_fabric(kind)
+            src = make_spmv_sources(0.05, n=1 << 20)
+            rep = Engine(fab, src, SimConfig(cycles=3000, warmup=800)).run()
+            results[kind] = rep.total_gbps
+        assert results[FabricKind.MAO] > 3 * results[FabricKind.XLNX]

@@ -1,0 +1,80 @@
+"""Unit tests for the segmented-network routing geometry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric.topology import LEFT, RIGHT, SegmentedTopology
+from repro.params import DEFAULT_PLATFORM
+
+TOPO = SegmentedTopology(DEFAULT_PLATFORM)
+
+masters = st.integers(min_value=0, max_value=31)
+pchs = st.integers(min_value=0, max_value=31)
+
+
+class TestParityRule:
+    def test_request_parity_is_mc_parity(self):
+        assert TOPO.request_parity(0) == 0
+        assert TOPO.request_parity(1) == 0  # same MC
+        assert TOPO.request_parity(2) == 1
+        assert TOPO.request_parity(3) == 1
+        assert TOPO.request_parity(4) == 0
+
+    def test_response_parity_matches_request(self):
+        for p in range(32):
+            assert TOPO.response_parity(p) == TOPO.request_parity(p)
+
+    def test_rotation2_collision(self):
+        """The paper's Fig. 4 explanation: at offset 2 the two remote
+        masters of a switch land on the same MC, hence the same bus."""
+        # Masters 2 and 3 of switch 0 target PCHs 4 and 5.
+        assert TOPO.request_parity(4) == TOPO.request_parity(5)
+
+
+class TestRoutes:
+    def test_local_route_has_no_laterals(self):
+        r = TOPO.request_route(0, 3)
+        assert r.num_hops == 0
+        assert r.source_switch == r.final_switch == 0
+
+    def test_rightward_route(self):
+        r = TOPO.request_route(0, 8)  # switch 0 -> switch 2
+        assert r.num_hops == 2
+        assert [h[1] for h in r.laterals] == [RIGHT, RIGHT]
+        assert [h[0] for h in r.laterals] == [0, 1]
+
+    def test_leftward_route(self):
+        r = TOPO.request_route(31, 0)  # switch 7 -> switch 0
+        assert r.num_hops == 7
+        assert all(h[1] == LEFT for h in r.laterals)
+
+    def test_response_route_reverses(self):
+        req = TOPO.request_route(0, 31)
+        rsp = TOPO.response_route(31, 0)
+        assert req.num_hops == rsp.num_hops == 7
+        assert all(h[1] == RIGHT for h in req.laterals)
+        assert all(h[1] == LEFT for h in rsp.laterals)
+
+    @given(masters, pchs)
+    @settings(max_examples=200)
+    def test_route_lands_on_destination_switch(self, m, p):
+        r = TOPO.request_route(m, p)
+        assert r.final_switch == DEFAULT_PLATFORM.switch_of_pch(p)
+        assert r.num_hops == TOPO.hop_count(m, p)
+
+    @given(masters, pchs)
+    @settings(max_examples=200)
+    def test_route_hops_are_consecutive(self, m, p):
+        r = TOPO.request_route(m, p)
+        switches = [h[0] for h in r.laterals]
+        for a, b in zip(switches, switches[1:]):
+            assert abs(b - a) == 1
+
+    def test_is_local(self):
+        assert TOPO.is_local(0, 0)
+        assert TOPO.is_local(3, 2)
+        assert not TOPO.is_local(0, 4)
+
+    def test_hop_count_symmetric_in_distance(self):
+        assert TOPO.hop_count(0, 31) == 7
+        assert TOPO.hop_count(31, 0) == 7

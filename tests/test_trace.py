@@ -1,0 +1,80 @@
+"""Tests for the per-transaction trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro import make_fabric
+from repro.params import HbmPlatform
+from repro.sim import Engine, SimConfig, TraceRecorder
+from repro.traffic import make_pattern_sources
+from repro.types import FabricKind, Pattern
+
+SMALL = HbmPlatform(num_pch=8, pch_capacity=64 * 1024 * 1024)
+
+
+def _run(platform=SMALL, pattern=Pattern.SCS, fabric=FabricKind.XLNX,
+         max_records=None, cycles=2500):
+    fab = make_fabric(fabric, platform)
+    src = make_pattern_sources(pattern, platform,
+                               address_map=fab.address_map)
+    rec = TraceRecorder(platform, max_records=max_records)
+    Engine(fab, src, SimConfig(cycles=cycles, warmup=500),
+           observers=[rec]).run()
+    return rec
+
+
+class TestTraceRecorder:
+    def test_records_completions(self):
+        rec = _run()
+        assert len(rec) > 100
+        arr = rec.as_array()
+        assert arr.shape[1] == 10
+
+    def test_columns_consistent(self):
+        rec = _run()
+        assert set(rec.column("master").tolist()) <= set(range(8))
+        assert (rec.column("complete") >= rec.column("issue")).all()
+        assert (rec.column("burst_len") == 16).all()
+
+    def test_latencies_positive(self):
+        rec = _run()
+        lat = rec.latencies_accel()
+        assert (lat > 0).all()
+        reads = rec.latencies_accel(reads_only=True)
+        assert len(reads) < len(lat)
+
+    def test_percentiles_ordered(self):
+        rec = _run()
+        p = rec.latency_percentiles((50, 90, 99))
+        assert p[50] <= p[90] <= p[99]
+
+    def test_per_pch_bytes_spread(self):
+        rec = _run()
+        per = rec.per_pch_bytes()
+        assert per.shape == (8,)
+        assert (per > 0).all()  # SCS uses every channel
+
+    def test_bandwidth_timeline(self):
+        rec = _run()
+        tl = rec.bandwidth_timeline(bucket_cycles=500)
+        assert tl.size >= 4
+        assert tl[2:].mean() > 0  # steady-state buckets carry traffic
+
+    def test_max_records_cap(self):
+        rec = _run(max_records=50)
+        assert len(rec) == 50
+        assert rec.dropped > 0
+
+    def test_empty_trace(self):
+        rec = TraceRecorder(SMALL)
+        assert rec.as_array().shape == (0, 10)
+        assert rec.latency_percentiles() == {50: 0.0, 90: 0.0, 99: 0.0}
+        assert rec.hop_latency_correlation() == 0.0
+
+    def test_hop_latency_correlation_signs(self):
+        """Distance costs latency on the segmented fabric; the MAO is
+        distance-free (hops always 0 -> correlation 0)."""
+        xl = _run(pattern=Pattern.CCRA, fabric=FabricKind.XLNX)
+        assert xl.hop_latency_correlation() > 0.05
+        mao = _run(pattern=Pattern.CCRA, fabric=FabricKind.MAO)
+        assert mao.hop_latency_correlation() == 0.0

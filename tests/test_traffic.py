@@ -1,0 +1,221 @@
+"""Unit and property tests for the traffic generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.address_map import ContiguousMap, InterleavedMap
+from repro.errors import ConfigError
+from repro.params import DEFAULT_PLATFORM
+from repro.traffic import (CcraSource, CcsSource, HotspotSource,
+                           RotationSource, ScraSource, ScsSource,
+                           StrideSweepSource, direction_sequence,
+                           make_pattern_sources, make_rotation_sources,
+                           make_stride_sources, make_hotspot_sources)
+from repro.types import Direction, Pattern, RWRatio
+
+PLAT = DEFAULT_PLATFORM
+CMAP = ContiguousMap(PLAT)
+
+
+def _pull(src, n):
+    out = []
+    while len(out) < n:
+        t = src.next_txn(0)
+        assert t is not None
+        out.append(t)
+    return out
+
+
+class TestDirectionSequence:
+    def test_two_to_one(self):
+        seq = direction_sequence(RWRatio(2, 1))
+        assert seq.count(Direction.READ) == 2
+        assert seq.count(Direction.WRITE) == 1
+
+    def test_read_only(self):
+        assert direction_sequence(RWRatio(1, 0)) == [Direction.READ]
+
+    def test_write_only(self):
+        assert direction_sequence(RWRatio(0, 1)) == [Direction.WRITE]
+
+    @given(st.integers(min_value=0, max_value=12),
+           st.integers(min_value=0, max_value=12))
+    @settings(max_examples=100)
+    def test_counts_always_exact(self, r, w):
+        if r == 0 and w == 0:
+            return
+        seq = direction_sequence(RWRatio(r, w))
+        if r and w:
+            assert seq.count(Direction.READ) == r
+            assert seq.count(Direction.WRITE) == w
+
+    def test_interleaving_spreads_heavy_direction(self):
+        """No long runs of one direction in a 3:2 mix."""
+        seq = direction_sequence(RWRatio(3, 2)) * 3
+        max_run, run = 1, 1
+        for a, b in zip(seq, seq[1:]):
+            run = run + 1 if a is b else 1
+            max_run = max(max_run, run)
+        assert max_run <= 2
+
+
+class TestScsSource:
+    def test_stays_on_own_pch(self):
+        src = ScsSource(5, PLAT, address_map=CMAP)
+        for t in _pull(src, 50):
+            assert CMAP.pch_of(t.address) == 5
+
+    def test_respects_interleaved_map(self):
+        imap = InterleavedMap(PLAT)
+        src = ScsSource(5, PLAT, address_map=imap)
+        for t in _pull(src, 50):
+            assert imap.pch_of(t.address) == 5
+
+    def test_reads_and_writes_disjoint(self):
+        src = ScsSource(0, PLAT, address_map=CMAP)
+        txns = _pull(src, 60)
+        reads = {t.address for t in txns if t.is_read}
+        writes = {t.address for t in txns if t.is_write}
+        assert not reads & writes
+
+    def test_strided_addresses(self):
+        src = ScsSource(0, PLAT, rw=RWRatio(1, 0), address_map=CMAP)
+        txns = _pull(src, 5)
+        deltas = {b.address - a.address for a, b in zip(txns, txns[1:])}
+        assert deltas == {512}
+
+
+class TestCcsSource:
+    def test_collective_contiguity(self):
+        """The 32 masters together cover a contiguous region in turn."""
+        srcs = [CcsSource(m, PLAT, rw=RWRatio(1, 0)) for m in range(32)]
+        first = [s.next_txn(0).address for s in srcs]
+        assert first == [m * 512 for m in range(32)]
+        second = [s.next_txn(0).address for s in srcs]
+        assert second == [(32 + m) * 512 for m in range(32)]
+
+    def test_hotspot_under_contiguous_map(self):
+        src = CcsSource(0, PLAT)
+        for t in _pull(src, 100):
+            assert CMAP.pch_of(t.address) == 0
+
+    def test_spread_under_interleaved_map(self):
+        imap = InterleavedMap(PLAT)
+        srcs = [CcsSource(m, PLAT, rw=RWRatio(1, 0)) for m in range(32)]
+        pchs = {imap.pch_of(s.next_txn(0).address) for s in srcs}
+        assert pchs == set(range(32))
+
+    def test_region_wrap(self):
+        src = CcsSource(0, PLAT, rw=RWRatio(1, 0), region_size=32 * 512,
+                        num_masters=1)
+        txns = _pull(src, 40)
+        assert max(t.address for t in txns) < 32 * 512
+
+
+class TestRandomSources:
+    def test_scra_stays_on_own_pch(self):
+        src = ScraSource(3, PLAT, address_map=CMAP, seed=1)
+        for t in _pull(src, 200):
+            assert CMAP.pch_of(t.address) == 3
+
+    def test_ccra_spreads_over_device(self):
+        src = CcraSource(0, PLAT, seed=1)
+        pchs = {CMAP.pch_of(t.address) for t in _pull(src, 500)}
+        assert len(pchs) >= 28  # nearly all 32
+
+    def test_ccra_burst_aligned(self):
+        src = CcraSource(0, PLAT, seed=2, burst_len=16)
+        for t in _pull(src, 100):
+            assert t.address % 512 == 0
+
+    def test_seeded_determinism(self):
+        a = [t.address for t in _pull(CcraSource(0, PLAT, seed=7), 50)]
+        b = [t.address for t in _pull(CcraSource(0, PLAT, seed=7), 50)]
+        assert a == b
+
+    def test_different_masters_different_streams(self):
+        a = [t.address for t in _pull(CcraSource(0, PLAT, seed=7), 50)]
+        b = [t.address for t in _pull(CcraSource(1, PLAT, seed=7), 50)]
+        assert a != b
+
+
+class TestRotationSource:
+    def test_target_pch(self):
+        src = RotationSource(3, offset=2, address_map=CMAP)
+        for t in _pull(src, 20):
+            assert CMAP.pch_of(t.address) == 5
+
+    def test_wraparound(self):
+        src = RotationSource(31, offset=8, address_map=CMAP)
+        for t in _pull(src, 5):
+            assert CMAP.pch_of(t.address) == (31 + 8) % 32
+
+    def test_factory(self):
+        srcs = make_rotation_sources(4)
+        assert len(srcs) == 32
+        assert srcs[0].pch == 4
+
+
+class TestStrideSource:
+    def test_lane_offsets(self):
+        srcs = make_stride_sources(16 * 1024, rw=RWRatio(1, 0))
+        first = [s.next_txn(0).address for s in srcs]
+        assert first == [m * 512 for m in range(32)]
+
+    def test_window_advance(self):
+        src = StrideSweepSource(0, 64 * 1024, rw=RWRatio(1, 0))
+        txns = _pull(src, 3)
+        assert txns[1].address - txns[0].address == 64 * 1024
+
+    def test_stride_validation(self):
+        with pytest.raises(ConfigError):
+            StrideSweepSource(0, 100)  # not a multiple of the access size
+        with pytest.raises(ConfigError):
+            StrideSweepSource(0, 0)
+
+    def test_locked_channel_at_period_multiples(self):
+        """At stride = k x 16 KB each master stays on one channel under
+        the interleaved map (the Fig. 5 plateau condition)."""
+        imap = InterleavedMap(PLAT)
+        src = StrideSweepSource(4, 32 * 1024, rw=RWRatio(1, 0))
+        pchs = {imap.pch_of(t.address) for t in _pull(src, 50)}
+        assert pchs == {4}
+
+
+class TestHotspotSource:
+    def test_explicit_target(self):
+        imap = InterleavedMap(PLAT)
+        src = HotspotSource(0, target_pch=9, address_map=imap)
+        for t in _pull(src, 50):
+            assert imap.pch_of(t.address) == 9
+
+    def test_factory(self):
+        srcs = make_hotspot_sources(3)
+        assert all(s.target_pch == 3 for s in srcs)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("pattern", list(Pattern))
+    def test_make_pattern_sources(self, pattern):
+        srcs = make_pattern_sources(pattern, PLAT, address_map=CMAP)
+        assert len(srcs) == 32
+        t = srcs[0].next_txn(0)
+        assert t is not None
+        assert 0 <= t.address < PLAT.total_capacity
+
+    def test_burst_len_validation(self):
+        with pytest.raises(ConfigError):
+            make_pattern_sources(Pattern.SCS, PLAT, burst_len=17)
+
+    @given(st.sampled_from(list(Pattern)),
+           st.sampled_from([1, 2, 4, 8, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_addresses_always_legal(self, pattern, bl):
+        """Every generated transaction is in range and burst-aligned, so
+        it is AXI3-legal by construction."""
+        srcs = make_pattern_sources(pattern, PLAT, burst_len=bl,
+                                    address_map=CMAP, seed=3)
+        for t in _pull(srcs[7], 30):
+            assert 0 <= t.address
+            assert t.address + t.num_bytes <= PLAT.total_capacity
+            assert t.address % (bl * 32) == 0

@@ -1,0 +1,75 @@
+"""Unit tests for the shared enums and RWRatio."""
+
+import pytest
+
+from repro.types import (Direction, FabricKind, Locality, Order, Pattern,
+                         RWRatio, READ_ONLY, WRITE_ONLY, TWO_TO_ONE,
+                         ONE_TO_ONE)
+
+
+class TestDirection:
+    def test_read_flags(self):
+        assert Direction.READ.is_read and not Direction.READ.is_write
+
+    def test_write_flags(self):
+        assert Direction.WRITE.is_write and not Direction.WRITE.is_read
+
+
+class TestPattern:
+    def test_table_i_coverage(self):
+        """Table I: the 2x2 of locality and ordering."""
+        combos = {(p.locality, p.order) for p in Pattern}
+        assert len(combos) == 4
+
+    def test_scs(self):
+        assert Pattern.SCS.is_single_channel and not Pattern.SCS.is_random
+
+    def test_ccs(self):
+        assert not Pattern.CCS.is_single_channel and not Pattern.CCS.is_random
+
+    def test_scra(self):
+        assert Pattern.SCRA.is_single_channel and Pattern.SCRA.is_random
+
+    def test_ccra(self):
+        assert not Pattern.CCRA.is_single_channel and Pattern.CCRA.is_random
+
+    def test_locality_enum(self):
+        assert Pattern.SCS.locality is Locality.SINGLE_CHANNEL
+        assert Pattern.CCRA.order is Order.RANDOM
+
+
+class TestRWRatio:
+    def test_fractions(self):
+        assert TWO_TO_ONE.read_fraction == pytest.approx(2 / 3)
+        assert TWO_TO_ONE.write_fraction == pytest.approx(1 / 3)
+
+    def test_read_only(self):
+        assert READ_ONLY.read_only and not READ_ONLY.write_only
+        assert READ_ONLY.read_fraction == 1.0
+
+    def test_write_only(self):
+        assert WRITE_ONLY.write_only
+        assert WRITE_ONLY.write_fraction == 1.0
+
+    def test_one_to_one(self):
+        assert ONE_TO_ONE.read_fraction == pytest.approx(0.5)
+
+    def test_zero_zero_rejected(self):
+        with pytest.raises(ValueError):
+            RWRatio(0, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RWRatio(-1, 1)
+
+    def test_str(self):
+        assert str(RWRatio(2, 1)) == "2:1"
+
+    def test_hashable_and_frozen(self):
+        assert RWRatio(2, 1) == RWRatio(2, 1)
+        assert hash(RWRatio(2, 1)) == hash(RWRatio(2, 1))
+
+
+class TestFabricKind:
+    def test_values(self):
+        assert {f.value for f in FabricKind} == {"xlnx", "mao", "ideal"}

@@ -1,0 +1,60 @@
+"""Tests for the fabric topology/utilization rendering."""
+
+import pytest
+
+from repro.fabric import SegmentedFabric, render_topology, render_utilization
+from repro.params import DEFAULT_PLATFORM, HbmPlatform
+from repro.sim import Engine, SimConfig
+from repro.traffic import make_rotation_sources
+
+
+class TestTopologyRendering:
+    def test_contains_all_switches(self):
+        text = render_topology(DEFAULT_PLATFORM)
+        for s in range(8):
+            assert f"SW{s}" in text
+        assert "BM00" in text and "PCH28-31" in text
+
+    def test_small_platform(self):
+        p = HbmPlatform(num_pch=8, pch_capacity=64 * 1024 * 1024)
+        text = render_topology(p)
+        assert "SW1" in text and "SW2" not in text
+
+
+class TestUtilizationRendering:
+    def _run(self, offset, cycles=3000):
+        fab = SegmentedFabric(DEFAULT_PLATFORM)
+        src = make_rotation_sources(offset, address_map=fab.address_map)
+        Engine(fab, src, SimConfig(cycles=cycles, warmup=500)).run()
+        return fab, cycles
+
+    def test_rotation0_laterals_idle(self):
+        fab, cycles = self._run(0)
+        text = render_utilization(fab, cycles)
+        # No lateral traffic at all: bus rows are blank.
+        for line in text.splitlines():
+            if line.strip().startswith(("right[", "left [")):
+                assert set(line.split("]", 1)[1].strip()) <= {" ", "."}
+
+    def test_rotation2_loads_one_parity(self):
+        fab, cycles = self._run(2)
+        text = render_utilization(fab, cycles)
+        rows = {line.strip()[:8]: line for line in text.splitlines()
+                if line.strip().startswith(("right[", "left ["))}
+        # Parity-0 buses carry the traffic; parity-1 buses stay idle.
+        assert "#" in rows["right[0]"] or "%" in rows["right[0]"]
+        assert set(rows["right[1]"].split("]", 1)[1].strip()) <= {" ", "."}
+
+    def test_rotation8_loads_everything(self):
+        fab, cycles = self._run(8)
+        text = render_utilization(fab, cycles)
+        busy_rows = [line for line in text.splitlines()
+                     if line.strip().startswith(("right[", "left ["))]
+        for line in busy_rows:
+            body = line.split("]", 1)[1]
+            assert any(c not in " ." for c in body)
+
+    def test_zero_cycles_defined(self):
+        fab = SegmentedFabric(DEFAULT_PLATFORM)
+        text = render_utilization(fab, 0)
+        assert "utilization" in text
