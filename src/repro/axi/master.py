@@ -16,6 +16,7 @@ fabric, modeling the two accelerator-side constraints the paper analyzes:
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Protocol
 
 from ..axi.transaction import AxiTransaction
@@ -93,6 +94,22 @@ class MasterPort:
             base = (self.next_issue if self.next_issue > cycle - 1.0
                     else float(cycle))
             self.next_issue = base + cost
+
+    def wake_after(self, cycle: int) -> float:
+        """Earliest future cycle at which :meth:`step` could do anything.
+
+        Used by the engine's fast path to skip masters that provably
+        cannot issue: a credit-blocked master sleeps until a completion
+        (``inf`` — the engine wakes it explicitly), a pacing-blocked one
+        until its meter expires.  A master with a staged retry or a
+        (possibly temporarily) exhausted source must be polled every
+        cycle, exactly as the legacy loop does.
+        """
+        if self.outstanding >= self.outstanding_limit:
+            return math.inf
+        if self.next_issue > cycle:
+            return math.ceil(self.next_issue)
+        return cycle + 1
 
     def on_complete(self, txn: AxiTransaction, cycle: int) -> None:
         """Called by the engine when one of this master's transactions

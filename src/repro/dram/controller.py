@@ -26,12 +26,14 @@ are bounded.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..axi.transaction import AxiTransaction
 from ..errors import ConfigError
 from ..params import DramTiming
+from ..types import Direction
 from .pch import PseudoChannel
 
 #: Callback signature: (txn, time) for completed read data / accepted write.
@@ -108,14 +110,16 @@ class MemoryController:
         self._pending: List[tuple] = []
         self._seq = 0
         self.accepts = 0
+        self._local_index = {p.index: i for i, p in enumerate(pchs)}
 
     # -- fabric-facing -------------------------------------------------------
 
     def local_index(self, pch: int) -> int:
-        for i, p in enumerate(self.pchs):
-            if p.index == pch:
-                return i
-        raise ConfigError(f"PCH {pch} not fronted by MC {self.index}")
+        try:
+            return self._local_index[pch]
+        except KeyError:
+            raise ConfigError(
+                f"PCH {pch} not fronted by MC {self.index}") from None
 
     def try_accept(self, txn: AxiTransaction, cycle: int) -> bool:
         """Accept a transaction into its PCH scheduler queue.
@@ -138,14 +142,21 @@ class MemoryController:
     # -- simulation ----------------------------------------------------------
 
     def step(self, cycle: int) -> None:
-        self._schedule(cycle)
-        self._deliver_read_data(cycle)
+        for q in self.queues:
+            if q:
+                self._schedule(cycle)
+                break
+        if self._pending:
+            self._deliver_read_data(cycle)
 
     def _schedule(self, cycle: int) -> None:
         s = self.sched
+        commit_horizon = cycle + s.horizon
         for li, pch in enumerate(self.pchs):
             q = self.queues[li]
-            while q and pch.ready_for_service(cycle, s.horizon):
+            # Inlined pch.ready_for_service(cycle, s.horizon) — this loop
+            # runs every cycle for every pseudo-channel.
+            while q and pch.bus_free < commit_horizon:
                 idx = self._pick(q, pch, cycle)
                 if idx is None:
                     break
@@ -180,6 +191,7 @@ class MemoryController:
         resp_ok: Optional[bool] = None
         gate_ok = [None, None]  # cached per direction
         max_score = s.hit_bonus + s.dir_bonus
+        read_dir = Direction.READ
         for i in range(limit):
             txn = q[i]
             if track_order:
@@ -188,7 +200,7 @@ class MemoryController:
                 seen[m] = order + 1
                 if order >= s.reorder_depth:
                     continue
-            is_read = txn.is_read
+            is_read = txn.direction is read_dir
             d = 0 if is_read else 1
             ok = gate_ok[d]
             if ok is None:
@@ -217,6 +229,23 @@ class MemoryController:
         while pending and pending[0][0] <= cycle:
             _, _, txn, li = heapq.heappop(pending)
             self.on_read_data(txn, float(cycle))
+
+    def next_event(self, cycle: int) -> float:
+        """Earliest future cycle at which :meth:`step` could change state.
+
+        Conservative: any queued transaction means work may be scheduled
+        next cycle (whether a scheduling gate actually opens is left to
+        the per-cycle logic); otherwise only pending read-data deliveries
+        remain, whose due times are known exactly.  ``math.inf`` when the
+        controller is empty.
+        """
+        for q in self.queues:
+            if q:
+                return cycle + 1
+        if self._pending:
+            t = math.ceil(self._pending[0][0])
+            return t if t > cycle + 1 else cycle + 1
+        return math.inf
 
     # -- invariants / reporting ----------------------------------------------
 

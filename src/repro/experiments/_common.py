@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from ..params import HbmPlatform, DEFAULT_PLATFORM
 from ..sim import Engine, SimConfig, SimReport
+from ..sim.cache import DEFAULT_CACHE, SimCache, sweep_key  # noqa: F401
 from ..types import FabricKind
 from .. import make_fabric
 
@@ -22,12 +23,30 @@ def measure(
     outstanding: int = 32,
     platform: HbmPlatform = DEFAULT_PLATFORM,
     fabric=None,
+    cache_key: Optional[Tuple] = None,
+    cache: Optional[SimCache] = None,
 ) -> SimReport:
-    """Run one simulation and return its report."""
+    """Run one simulation and return its report.
+
+    With a ``cache_key`` (build one with :func:`~repro.sim.cache.sweep_key`)
+    the report is memoized in ``cache`` (default: the process-wide
+    :data:`~repro.sim.cache.DEFAULT_CACHE`).  The key must cover every
+    input that shapes the result *except* ``cycles``/``outstanding``/the
+    platform, which are folded in here.
+    """
+    if cache_key is not None:
+        cache = cache if cache is not None else DEFAULT_CACHE
+        full_key = (cache_key, ("cycles", cycles), ("outstanding", outstanding))
+        hit = cache.get(full_key)
+        if hit is not None:
+            return hit
     fab = fabric if fabric is not None else make_fabric(fabric_kind, platform)
     cfg = SimConfig(cycles=cycles, warmup=min(cycles // 4, 3_000),
                     outstanding=outstanding)
-    return Engine(fab, sources, cfg).run()
+    rep = Engine(fab, sources, cfg).run()
+    if cache_key is not None:
+        cache.put(full_key, rep)
+    return rep
 
 
 def pct_of_peak(gbps: float, platform: HbmPlatform = DEFAULT_PLATFORM) -> float:

@@ -19,7 +19,7 @@ from ..params import HbmPlatform, DEFAULT_PLATFORM
 from ..traffic import make_pattern_sources
 from ..types import FabricKind, Pattern, RWRatio
 from .. import make_fabric
-from ._common import DEFAULT_CYCLES, measure, pct_of_peak
+from ._common import DEFAULT_CYCLES, measure, pct_of_peak, sweep_key
 
 #: The ratio sweep of the figure (read:write).
 RATIOS = (
@@ -58,7 +58,11 @@ def run(
             Pattern.SCS, platform, burst_len=burst_len, rw=rw,
             address_map=fab.address_map)
         rep = measure(FabricKind.XLNX, sources, cycles=cycles,
-                      platform=platform, fabric=fab)
+                      platform=platform, fabric=fab,
+                      cache_key=sweep_key(
+                          "pattern-sim", platform, fabric=FabricKind.XLNX,
+                          pattern=Pattern.SCS, burst_len=burst_len, rw=rw,
+                          seed=0))
         rows.append(Fig2Row(
             ratio=rw,
             read_gbps=rep.read_gbps,

@@ -21,7 +21,7 @@ from ..params import HbmPlatform, DEFAULT_PLATFORM
 from ..traffic import make_pattern_sources
 from ..types import FabricKind, Pattern, RWRatio, READ_ONLY, WRITE_ONLY, TWO_TO_ONE
 from .. import make_fabric
-from ._common import DEFAULT_CYCLES, measure, pct_of_peak
+from ._common import DEFAULT_CYCLES, measure, pct_of_peak, sweep_key
 
 BURST_LENGTHS = (1, 2, 4, 8, 16)
 DIRECTIONS = {"RD": READ_ONLY, "WR": WRITE_ONLY, "Both": TWO_TO_ONE}
@@ -52,7 +52,10 @@ def _point(args) -> Fig3Row:
     sources = make_pattern_sources(
         pattern, platform, burst_len=bl, rw=rw, address_map=fab.address_map)
     rep = measure(FabricKind.XLNX, sources, cycles=cycles,
-                  platform=platform, fabric=fab)
+                  platform=platform, fabric=fab,
+                  cache_key=sweep_key(
+                      "pattern-sim", platform, fabric=FabricKind.XLNX,
+                      pattern=pattern, burst_len=bl, rw=rw, seed=0))
     return Fig3Row(
         pattern=pattern,
         direction=dir_name,
@@ -60,6 +63,13 @@ def _point(args) -> Fig3Row:
         total_gbps=rep.total_gbps,
         fraction_of_peak=pct_of_peak(rep.total_gbps, platform),
     )
+
+
+def _point_key(args) -> tuple:
+    """Row-level cache key (distinct namespace from the report keys)."""
+    pattern, dir_name, bl, cycles, platform = args
+    return sweep_key("fig3-row", platform, pattern=pattern,
+                     direction=dir_name, burst_len=bl, cycles=cycles)
 
 
 def run(
@@ -70,11 +80,13 @@ def run(
     workers: int | None = None,
 ) -> List[Fig3Row]:
     from .parallel import parallel_sweep
+    from ..sim.cache import DEFAULT_CACHE
     points = [(pattern, dir_name, bl, cycles, platform)
               for pattern in patterns
               for dir_name in DIRECTIONS
               for bl in burst_lengths]
-    return parallel_sweep(_point, points, workers)
+    return parallel_sweep(_point, points, workers,
+                          cache=DEFAULT_CACHE, key_fn=_point_key)
 
 
 def series(rows: List[Fig3Row], pattern: Pattern,

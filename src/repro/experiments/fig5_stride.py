@@ -17,7 +17,7 @@ from ..params import HbmPlatform, DEFAULT_PLATFORM
 from ..traffic import make_stride_sources
 from ..types import FabricKind, RWRatio, TWO_TO_ONE
 from .. import make_fabric
-from ._common import DEFAULT_CYCLES, measure, pct_of_peak
+from ._common import DEFAULT_CYCLES, measure, pct_of_peak, sweep_key
 
 KB = 1024
 STRIDES = (512, 2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB,
@@ -49,7 +49,10 @@ def run(
         fab = make_fabric(FabricKind.MAO, platform)
         sources = make_stride_sources(stride, platform, burst_len, rw)
         rep = measure(FabricKind.MAO, sources, cycles=cycles,
-                      platform=platform, fabric=fab)
+                      platform=platform, fabric=fab,
+                      cache_key=sweep_key(
+                          "stride-sim", platform, fabric=FabricKind.MAO,
+                          stride=stride, burst_len=burst_len, rw=rw))
         rows.append(Fig5Row(
             stride=stride,
             total_gbps=rep.total_gbps,

@@ -17,7 +17,7 @@ from ..fabric import MaoFabric
 from ..params import HbmPlatform, DEFAULT_PLATFORM
 from ..traffic import make_pattern_sources
 from ..types import FabricKind, Pattern, RWRatio, TWO_TO_ONE
-from ._common import DEFAULT_CYCLES, measure, pct_of_peak
+from ._common import DEFAULT_CYCLES, measure, pct_of_peak, sweep_key
 
 DEPTHS = (1, 2, 4, 8, 16, 32)
 
@@ -49,8 +49,14 @@ def run(
         fab = MaoFabric(platform, config=config)
         sources = make_pattern_sources(
             Pattern.CCRA, platform, burst_len=burst_len, rw=rw, seed=seed)
+        # The non-default MaoConfig must discriminate the key, or these
+        # points would collide with default-config MAO runs elsewhere.
         rep = measure(FabricKind.MAO, sources, cycles=cycles,
-                      platform=platform, fabric=fab)
+                      platform=platform, fabric=fab,
+                      cache_key=sweep_key(
+                          "pattern-sim", platform, fabric=FabricKind.MAO,
+                          pattern=Pattern.CCRA, burst_len=burst_len, rw=rw,
+                          seed=seed, mao=config))
         rows.append(Fig6Row(
             reorder_depth=depth,
             total_gbps=rep.total_gbps,

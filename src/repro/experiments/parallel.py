@@ -34,19 +34,43 @@ def default_workers() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
+def _map(fn: Callable[[T], R], items: List[T], n: int) -> List[R]:
+    if n <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(n, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
 def parallel_sweep(
     fn: Callable[[T], R],
     items: Sequence[T],
     workers: Optional[int] = None,
+    *,
+    cache=None,
+    key_fn: Optional[Callable[[T], tuple]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally across processes.
 
     Results come back in input order.  ``workers=None`` uses
     :func:`default_workers`; ``workers<=1`` or a single item runs inline.
+
+    With ``cache`` (a :class:`~repro.sim.cache.SimCache`) and ``key_fn``
+    (item -> cache key), cached points are satisfied in the parent
+    process and only the misses are dispatched to the pool; fresh
+    results are stored back under their keys.  This keeps memoization
+    effective across process-pool sweeps, where worker-local caches die
+    with the workers.
     """
     n = default_workers() if workers is None else workers
     items = list(items)
-    if n <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(n, len(items))) as pool:
-        return list(pool.map(fn, items))
+    if cache is None or key_fn is None:
+        return _map(fn, items, n)
+    keys = [key_fn(item) for item in items]
+    results: List[Optional[R]] = [cache.get(k) for k in keys]
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:
+        computed = _map(fn, [items[i] for i in missing], n)
+        for i, value in zip(missing, computed):
+            results[i] = value
+            cache.put(keys[i], value)
+    return results  # type: ignore[return-value]

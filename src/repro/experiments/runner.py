@@ -12,6 +12,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -92,17 +93,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro-hbm",
         description="Regenerate the tables and figures of 'Fast HBM Access "
                     "with FPGAs' (IPDPSW 2021)")
+    # Options shared by every simulation-running subcommand.
+    sim_opts = argparse.ArgumentParser(add_help=False)
+    sim_opts.add_argument("--no-cache", action="store_true",
+                          help="disable the sweep-point result cache")
+    sim_opts.add_argument("--legacy-engine", action="store_true",
+                          help="use the reference cycle loop instead of the "
+                               "fast path (bit-identical results, slower)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
-    p_run = sub.add_parser("run", help="run selected experiments")
+    p_run = sub.add_parser("run", help="run selected experiments",
+                           parents=[sim_opts])
     p_run.add_argument("keys", nargs="+", choices=sorted(EXPERIMENTS))
     p_run.add_argument("--cycles", type=int, default=None,
                        help="simulation horizon in fabric cycles")
     p_run.add_argument("--out", type=str, default=None)
-    p_all = sub.add_parser("all", help="run every experiment")
+    p_all = sub.add_parser("all", help="run every experiment",
+                           parents=[sim_opts])
     p_all.add_argument("--cycles", type=int, default=None)
     p_all.add_argument("--out", type=str, default=None)
-    p_rep = sub.add_parser("report", help="write a markdown results report")
+    p_rep = sub.add_parser("report", help="write a markdown results report",
+                           parents=[sim_opts])
     p_rep.add_argument("keys", nargs="*", metavar="KEY",
                        help=f"experiments to include (default: all of "
                             f"{', '.join(sorted(EXPERIMENTS))})")
@@ -121,6 +132,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--outstanding", type=int, default=32)
 
     args = parser.parse_args(argv)
+    if getattr(args, "no_cache", False):
+        os.environ["REPRO_SIM_CACHE"] = "0"
+    if getattr(args, "legacy_engine", False):
+        os.environ["REPRO_FAST_PATH"] = "0"
     if args.command == "list":
         print(_cmd_list())
         return 0

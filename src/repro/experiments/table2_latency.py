@@ -23,7 +23,7 @@ from ..sim.stats import LatencySummary
 from ..traffic import make_pattern_sources
 from ..types import FabricKind, Pattern, RWRatio, TWO_TO_ONE
 from .. import make_fabric
-from ._common import DEFAULT_CYCLES, measure
+from ._common import DEFAULT_CYCLES, measure, sweep_key
 
 #: (name, outstanding, burst_len) of the two traffic setups.
 TRAFFIC_SETUPS = (("Single", 1, 1), ("Burst", 32, 16))
@@ -70,7 +70,11 @@ def run(
                     address_map=fab.address_map, seed=seed)
                 rep = measure(fabric_kind, sources, cycles=cycles,
                               outstanding=outstanding, platform=platform,
-                              fabric=fab)
+                              fabric=fab,
+                              cache_key=sweep_key(
+                                  "pattern-sim", platform, fabric=fabric_kind,
+                                  pattern=pattern, burst_len=burst_len, rw=rw,
+                                  seed=seed))
                 rows.append(Table2Row(
                     setup=setup,
                     fabric=fab.name,

@@ -16,7 +16,7 @@ from ..traffic import make_pattern_sources
 from ..types import (FabricKind, Pattern, RWRatio, READ_ONLY, WRITE_ONLY,
                      TWO_TO_ONE)
 from .. import make_fabric
-from ._common import DEFAULT_CYCLES, measure, pct_of_peak
+from ._common import DEFAULT_CYCLES, measure, pct_of_peak, sweep_key
 
 DIRECTIONS: Tuple[Tuple[str, RWRatio], ...] = (
     ("RD", READ_ONLY), ("WR", WRITE_ONLY), ("Both", TWO_TO_ONE))
@@ -60,7 +60,11 @@ def run(
                     pattern, platform, burst_len=burst_len, rw=rw,
                     address_map=fab.address_map, seed=seed)
                 rep = measure(kind, sources, cycles=cycles,
-                              platform=platform, fabric=fab)
+                              platform=platform, fabric=fab,
+                              cache_key=sweep_key(
+                                  "pattern-sim", platform, fabric=kind,
+                                  pattern=pattern, burst_len=burst_len, rw=rw,
+                                  seed=seed))
                 gbps[kind] = rep.total_gbps
             rows.append(Table4Row(
                 pattern=pattern,

@@ -9,12 +9,19 @@ The engine drives it through a narrow interface:
 * :meth:`BaseFabric.step` — advance one fabric cycle,
 * :attr:`BaseFabric.completions` — transactions that finished this cycle
   (drained by the engine),
-* :meth:`BaseFabric.quiescent` — drain check for end-of-simulation.
+* :meth:`BaseFabric.quiescent` — drain check for end-of-simulation,
+* :meth:`BaseFabric.next_event` — the fabric's *event horizon*: the
+  earliest future cycle at which stepping it (absent new submissions)
+  could change observable state.  The engine's fast path uses it to jump
+  the clock over provably empty cycles; a conservative answer of
+  ``cycle + 1`` is always correct and merely disables skipping.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
+from collections import deque
 from typing import List, Optional, Tuple
 
 from ..axi.transaction import AxiTransaction
@@ -62,6 +69,9 @@ class BaseFabric:
                 response_space=self._response_space,
                 mc_latency=platform.fabric.mc_latency,
             ))
+        #: Hot-path lookup: PCH index -> its memory controller.
+        self._mc_by_pch: List[MemoryController] = [
+            self.mcs[p // platform.pch_per_mc] for p in range(platform.num_pch)]
 
     # -- interface the engine uses --------------------------------------------
 
@@ -73,6 +83,28 @@ class BaseFabric:
 
     def quiescent(self) -> bool:
         raise NotImplementedError
+
+    def next_event(self, cycle: int) -> float:
+        """Earliest future cycle at which :meth:`step` could have an
+        observable effect, assuming no new submissions arrive.
+
+        Returns ``math.inf`` when the fabric is provably quiescent.  The
+        base implementation covers the shared model state (scheduled
+        completion events and the memory controllers); subclasses extend
+        it with their interconnect state and must stay *conservative*:
+        answering ``cycle + 1`` whenever in doubt is always correct.
+        """
+        nxt = math.inf
+        ev = self._events
+        if ev:
+            nxt = math.ceil(ev[0][0])
+        for mc in self.mcs:
+            t = mc.next_event(cycle)
+            if t < nxt:
+                nxt = t
+                if nxt <= cycle + 1:
+                    break
+        return nxt if nxt > cycle + 1 else cycle + 1
 
     def drain_completions(self) -> List[Tuple[AxiTransaction, float]]:
         done = self.completions
@@ -110,6 +142,33 @@ class BaseFabric:
 
     def _mcs_quiescent(self) -> bool:
         return all(mc.in_flight() == 0 for mc in self.mcs) and not self._events
+
+    def _retry_staged(self, staged, cycle: int):
+        """Offer staged arrivals to their controllers, in order.
+
+        Returns the (possibly new) deque of still-refused transactions.
+        Queue occupancy only grows within one sweep, so a queue that
+        refused once stays full for the rest of it — later transactions
+        bound for it skip the call.  When nothing is accepted the input
+        deque is returned untouched.  Both shortcuts are order-preserving
+        and bit-identical to the plain try-everything sweep.
+        """
+        full: set = set()
+        accepted: Optional[set] = None
+        mc_by_pch = self._mc_by_pch
+        for i, txn in enumerate(staged):
+            pch = txn.pch
+            if pch in full:
+                continue
+            if mc_by_pch[pch].try_accept(txn, cycle):
+                if accepted is None:
+                    accepted = set()
+                accepted.add(i)
+            else:
+                full.add(pch)
+        if accepted is None:
+            return staged
+        return deque(txn for i, txn in enumerate(staged) if i not in accepted)
 
     # -- reporting ----------------------------------------------------------------
 

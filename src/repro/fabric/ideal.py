@@ -11,6 +11,7 @@ limits — the separation the paper's analysis methodology relies on.
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from typing import Deque, List, Optional
 
@@ -50,13 +51,7 @@ class IdealFabric(BaseFabric):
             _, _, txn = heapq.heappop(transit)
             self._staged.append(txn)
         if self._staged:
-            retry: Deque[AxiTransaction] = deque()
-            while self._staged:
-                txn = self._staged.popleft()
-                mc = self.mcs[self.platform.mc_of_pch(txn.pch)]
-                if not mc.try_accept(txn, cycle):
-                    retry.append(txn)
-            self._staged = retry
+            self._staged = self._retry_staged(self._staged, cycle)
         for mc in self.mcs:
             mc.step(cycle)
         self._pop_due_events(cycle)
@@ -64,6 +59,18 @@ class IdealFabric(BaseFabric):
     def quiescent(self) -> bool:
         return (not self._in_transit and not self._staged
                 and self._mcs_quiescent())
+
+    def next_event(self, cycle: int) -> float:
+        nxt = super().next_event(cycle)
+        if nxt <= cycle + 1:
+            return nxt
+        if self._staged:
+            return cycle + 1
+        if self._in_transit:
+            t = math.ceil(self._in_transit[0][0])
+            if t < nxt:
+                nxt = t
+        return nxt if nxt > cycle + 1 else cycle + 1
 
     def _on_read_data(self, txn: AxiTransaction, time: float) -> None:
         self._schedule_completion(txn, time + 1)

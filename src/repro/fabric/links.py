@@ -120,6 +120,10 @@ class Fifo:
         if self.full:
             raise SimulationError(f"overflow on fifo {self.name!r}")
         self.items.append(flit)
+        # Book the flit with the output that must grant it next, so idle
+        # outputs can skip their arbitration scan entirely.
+        if flit.hop < len(flit.route):
+            flit.route[flit.hop].pending_in += 1
 
     def popleft(self) -> Flit:
         return self.items.popleft()
@@ -150,7 +154,7 @@ class ArbOutput:
 
     __slots__ = ("name", "inputs", "dest", "latency", "rate", "dead_cycles",
                  "busy_until", "last_input", "reserved", "in_flight",
-                 "granted_flits", "busy_weight", "shared")
+                 "granted_flits", "busy_weight", "shared", "pending_in")
 
     def __init__(
         self,
@@ -180,6 +184,11 @@ class ArbOutput:
         self.granted_flits: int = 0
         #: Total beat-weight granted (diagnostics / utilization).
         self.busy_weight: float = 0.0
+        #: Flits currently buffered in input FIFOs whose next hop is this
+        #: output (maintained by :meth:`Fifo.append` and the grant logic).
+        #: Zero means an arbitration scan cannot succeed — the fast
+        #: early-out of :meth:`step`.
+        self.pending_in: int = 0
 
     # -- simulation ----------------------------------------------------------
 
@@ -193,6 +202,8 @@ class ArbOutput:
                 self.reserved -= 1
                 flit.hop += 1
                 dest.append(flit)
+        if self.pending_in == 0:
+            return  # nothing routed here: the scan below cannot grant
         if self.busy_until > cycle:
             return
         if self.shared is not None and self.shared.busy_until > cycle:
@@ -219,6 +230,7 @@ class ArbOutput:
                 continue
             # Grant.
             items.popleft()
+            self.pending_in -= 1
             start = float(cycle)
             if self.last_input != idx and self.last_input != -1 and self.dead_cycles:
                 start += self.dead_cycles

@@ -20,6 +20,7 @@ rule on read completion).
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from typing import Deque, List, Optional
 
@@ -127,13 +128,7 @@ class MaoFabric(BaseFabric):
         # Retry staged arrivals in order (per-PCH queues provide the
         # backpressure boundary).
         if self._staged:
-            retry: Deque[AxiTransaction] = deque()
-            while self._staged:
-                txn = self._staged.popleft()
-                mc = self.mcs[self.platform.mc_of_pch(txn.pch)]
-                if not mc.try_accept(txn, cycle):
-                    retry.append(txn)
-            self._staged = retry
+            self._staged = self._retry_staged(self._staged, cycle)
         for mc in self.mcs:
             mc.step(cycle)
         self._pop_due_events(cycle)
@@ -141,6 +136,18 @@ class MaoFabric(BaseFabric):
     def quiescent(self) -> bool:
         return (not self._in_transit and not self._staged
                 and self._mcs_quiescent())
+
+    def next_event(self, cycle: int) -> float:
+        nxt = super().next_event(cycle)
+        if nxt <= cycle + 1:
+            return nxt
+        if self._staged:
+            return cycle + 1
+        if self._in_transit:
+            t = math.ceil(self._in_transit[0][0])
+            if t < nxt:
+                nxt = t
+        return nxt if nxt > cycle + 1 else cycle + 1
 
     # -- controller callbacks ------------------------------------------------------
 

@@ -12,6 +12,7 @@ identifies in the vendor fabric.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 from ..axi.transaction import AxiTransaction
@@ -162,6 +163,9 @@ class SegmentedFabric(BaseFabric):
                 f"egress[{m}]", resp_inputs[s], self.completion[m],
                 latency=ft.switch_latency, rate=ratio))
 
+        #: Memoized hop lists keyed by (master, pch) / (pch, master).
+        self._req_routes: dict = {}
+        self._resp_routes: dict = {}
         self._request_outputs: List[ArbOutput] = []
         self._response_outputs: List[ArbOutput] = []
         for s in range(ns):
@@ -177,29 +181,44 @@ class SegmentedFabric(BaseFabric):
         self._response_outputs.extend(self.egress_out)
 
     # -- route construction ----------------------------------------------------
+    #
+    # Routes are static per (master, pch) pair, so the hop lists are
+    # memoized and shared between flits (flits never mutate their route —
+    # only their private ``hop`` index advances).
 
     def _request_flit(self, txn: AxiTransaction) -> Flit:
-        route = self.topology.request_route(txn.master, txn.pch)
-        hops: List[ArbOutput] = []
-        for (s, direction, parity) in route.laterals:
-            out = self.lat_req_out[s][direction][parity]
-            assert out is not None
-            hops.append(out)
-        local_pch = txn.pch % self.platform.pch_per_switch
-        hops.append(self.mc_req_out[route.final_switch][local_pch])
-        txn.hops = route.num_hops
+        key = (txn.master, txn.pch)
+        cached = self._req_routes.get(key)
+        if cached is None:
+            route = self.topology.request_route(txn.master, txn.pch)
+            hops: List[ArbOutput] = []
+            for (s, direction, parity) in route.laterals:
+                out = self.lat_req_out[s][direction][parity]
+                assert out is not None
+                hops.append(out)
+            local_pch = txn.pch % self.platform.pch_per_switch
+            hops.append(self.mc_req_out[route.final_switch][local_pch])
+            cached = (tuple(hops), route.num_hops)
+            self._req_routes[key] = cached
+        hops_t, num_hops = cached
+        txn.hops = num_hops
         weight = txn.burst_len if txn.is_write else 1
-        return Flit(txn, weight, REQUEST, hops)
+        return Flit(txn, weight, REQUEST, hops_t)
 
     def _response_flit(self, txn: AxiTransaction) -> Flit:
-        route = self.topology.response_route(txn.pch, txn.master)
-        hops: List[ArbOutput] = []
-        for (s, direction, parity) in route.laterals:
-            out = self.lat_resp_out[s][direction][parity]
-            assert out is not None
-            hops.append(out)
-        hops.append(self.egress_out[txn.master])
-        return Flit(txn, txn.burst_len, RESPONSE, hops)
+        key = (txn.pch, txn.master)
+        hops_t = self._resp_routes.get(key)
+        if hops_t is None:
+            route = self.topology.response_route(txn.pch, txn.master)
+            hops: List[ArbOutput] = []
+            for (s, direction, parity) in route.laterals:
+                out = self.lat_resp_out[s][direction][parity]
+                assert out is not None
+                hops.append(out)
+            hops.append(self.egress_out[txn.master])
+            hops_t = tuple(hops)
+            self._resp_routes[key] = hops_t
+        return Flit(txn, txn.burst_len, RESPONSE, hops_t)
 
     # -- engine interface --------------------------------------------------------
 
@@ -214,17 +233,25 @@ class SegmentedFabric(BaseFabric):
         return True
 
     def step(self, cycle: int) -> None:
+        # Stepping an output with no deliveries in flight and no flit
+        # routed to it is a no-op; skip the call (the dominant cost of
+        # the legacy inner loop was exactly these empty scans).
         for out in self._request_outputs:
-            out.step(cycle)
+            if out.pending_in or out.in_flight:
+                out.step(cycle)
+        mc_by_pch = self._mc_by_pch
         for pch_index, fifo in enumerate(self.mc_in):
             items = fifo.items
-            mc = self.mcs[pch_index // self.platform.pch_per_mc]
+            if not items:
+                continue
+            mc = mc_by_pch[pch_index]
             while items and mc.try_accept(items[0].txn, cycle):
                 fifo.popleft()
         for mc in self.mcs:
             mc.step(cycle)
         for out in self._response_outputs:
-            out.step(cycle)
+            if out.pending_in or out.in_flight:
+                out.step(cycle)
         for m, fifo in enumerate(self.completion):
             items = fifo.items
             while items:
@@ -245,6 +272,36 @@ class SegmentedFabric(BaseFabric):
                     return False
         return all(o.quiescent() for o in self._request_outputs + self._response_outputs)
 
+    def next_event(self, cycle: int) -> float:
+        nxt = super().next_event(cycle)
+        if nxt <= cycle + 1:
+            return nxt
+        # Any buffered flit can be arbitrated next cycle (conservative:
+        # whether a grant actually happens depends on bus meters).
+        for out in self._request_outputs:
+            if out.pending_in:
+                return cycle + 1
+        for out in self._response_outputs:
+            if out.pending_in:
+                return cycle + 1
+        if any(f.items for f in self.mc_in) or any(
+                f.items for f in self.completion):
+            return cycle + 1
+        # Only pipeline deliveries remain; their arrival times are exact.
+        for out in self._request_outputs:
+            infl = out.in_flight
+            if infl:
+                t = math.ceil(infl[0][0])
+                if t < nxt:
+                    nxt = t
+        for out in self._response_outputs:
+            infl = out.in_flight
+            if infl:
+                t = math.ceil(infl[0][0])
+                if t < nxt:
+                    nxt = t
+        return nxt if nxt > cycle + 1 else cycle + 1
+
     # -- controller callbacks ------------------------------------------------------
 
     def _on_read_data(self, txn: AxiTransaction, time: float) -> None:
@@ -255,6 +312,6 @@ class SegmentedFabric(BaseFabric):
         self._schedule_completion(txn, time + lat)
 
     def _response_space(self, pch: int) -> bool:
-        mc = self.mcs[self.platform.mc_of_pch(pch)]
+        mc = self._mc_by_pch[pch]
         fifo = self.resp_fifo[pch]
         return len(fifo) + mc.pending_reads(pch) < fifo.capacity

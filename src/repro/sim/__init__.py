@@ -17,6 +17,7 @@ Typical use::
 from .config import SimConfig
 from .stats import LatencySummary, SimReport, OnlineStats
 from .engine import Engine, simulate
+from .cache import SimCache, sweep_key
 from .trace import TraceRecorder
 
 __all__ = [
@@ -26,5 +27,7 @@ __all__ = [
     "OnlineStats",
     "Engine",
     "simulate",
+    "SimCache",
+    "sweep_key",
     "TraceRecorder",
 ]

@@ -1,0 +1,135 @@
+"""Experiment-level memoization of simulation results.
+
+The sweep harness re-simulates many identical points: ``repro-hbm all``
+shares sweep points between figures, the benchmark suite re-runs the same
+configurations round after round, and iterating on one experiment's
+post-processing should not pay for re-simulating its inputs.  Since every
+simulation is a pure function of (fabric construction, traffic pattern,
+engine config) — traffic sources are deterministically seeded — results
+can be memoized safely.
+
+:class:`SimCache` keeps an in-memory table and, when a directory is
+configured (``REPRO_SIM_CACHE_DIR`` or the constructor argument), a
+pickle file per entry so results survive across processes and runs.
+Entries are stored together with their full key and verified on load, so
+a SHA-1 filename collision degrades to a miss, never a wrong result.
+
+Keys come from :func:`sweep_key`, which folds in
+
+* a model version (bump :data:`MODEL_VERSION` whenever a change alters
+  simulation *results*, so stale disk entries are never returned),
+* a digest of the platform's full ``repr`` (every timing/topology knob),
+* the engine path in effect (``fast_path`` — reports are bit-identical
+  either way by construction, but keeping the key exact makes the cache
+  trivially sound even while that property is being debugged),
+* the caller's parameters, ``repr``-normalized.
+
+``REPRO_SIM_CACHE=0`` disables all caching without touching call sites.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+from .config import _fast_path_default
+
+#: Bump when a model change alters simulation outputs.
+MODEL_VERSION = 1
+
+
+def cache_enabled() -> bool:
+    """Global off-switch: ``REPRO_SIM_CACHE=0`` disables memoization."""
+    return os.environ.get("REPRO_SIM_CACHE", "1").lower() not in (
+        "0", "false", "no", "off")
+
+
+def platform_digest(platform: Any) -> str:
+    """Short stable digest of a platform's full parameterization."""
+    return hashlib.sha1(repr(platform).encode()).hexdigest()[:12]
+
+
+def sweep_key(experiment: str, platform: Any, **params: Any) -> Tuple:
+    """Build a cache key for one sweep point.
+
+    ``params`` values are normalized through ``repr`` so enums, ratios,
+    and config dataclasses key naturally; pass every input that changes
+    the simulated result (and nothing else).
+    """
+    items = tuple(sorted((k, repr(v)) for k, v in params.items()))
+    return (MODEL_VERSION, experiment, platform_digest(platform),
+            ("fast_path", _fast_path_default()), items)
+
+
+class SimCache:
+    """Two-level (memory + optional disk) memo table for sweep results.
+
+    Values must be picklable when a directory is configured; the sweep
+    row dataclasses and :class:`~repro.sim.stats.SimReport` all are.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self._directory = directory
+        self._memory: Dict[Tuple, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Optional[str]:
+        """Disk-spill directory; falls back to ``REPRO_SIM_CACHE_DIR``."""
+        return self._directory or os.environ.get("REPRO_SIM_CACHE_DIR") or None
+
+    def _path(self, key: Tuple) -> str:
+        digest = hashlib.sha1(repr(key).encode()).hexdigest()
+        return os.path.join(self.directory, digest + ".pkl")
+
+    def get(self, key: Tuple) -> Optional[Any]:
+        """Cached value for ``key``, or ``None`` on a miss."""
+        if not cache_enabled():
+            self.misses += 1
+            return None
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        if self.directory:
+            try:
+                with open(self._path(key), "rb") as fh:
+                    stored_key, value = pickle.load(fh)
+            except (OSError, pickle.PickleError, EOFError, ValueError):
+                pass
+            else:
+                if stored_key == key:
+                    self._memory[key] = value
+                    self.hits += 1
+                    return value
+        self.misses += 1
+        return None
+
+    def put(self, key: Tuple, value: Any) -> None:
+        if not cache_enabled():
+            return
+        self._memory[key] = value
+        directory = self.directory
+        if not directory:
+            return
+        try:
+            os.makedirs(directory, exist_ok=True)
+            path = self._path(key)
+            tmp = path + f".tmp.{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                pickle.dump((key, value), fh)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # disk spill is best-effort; memory entry already stored
+
+    def clear(self) -> None:
+        """Drop in-memory entries (disk files are left alone)."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide cache used by the experiment helpers.
+DEFAULT_CACHE = SimCache()

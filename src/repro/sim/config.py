@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from ..errors import ConfigError
+
+
+def _fast_path_default() -> bool:
+    """Fast path is on unless ``REPRO_FAST_PATH`` disables it globally."""
+    return os.environ.get("REPRO_FAST_PATH", "1").lower() not in (
+        "0", "false", "no", "off")
 
 
 @dataclass(frozen=True)
@@ -26,6 +33,14 @@ class SimConfig:
     outstanding: int = 32
     """Outstanding-transaction credit per master (``Not``).  The paper's
     *Single* latency scenario uses 1, the *Burst* scenario 32."""
+
+    fast_path: bool = field(default_factory=_fast_path_default)
+    """Use the batched/quiescence-skipping engine loop.  The fast path is
+    an *optimization, never a model change*: it must produce bit-identical
+    :class:`~repro.sim.stats.SimReport` results (enforced by the
+    differential tests in ``tests/test_engine_fastpath.py``).  Set to
+    ``False`` — or export ``REPRO_FAST_PATH=0`` — to fall back to the
+    legacy strictly per-cycle loop when debugging."""
 
     def __post_init__(self) -> None:
         if self.cycles <= 0:

@@ -11,10 +11,26 @@ source.  Every fabric cycle it
 The engine also enforces the conservation invariant — every issued
 transaction is either completed or demonstrably buffered somewhere — which
 guards against simulator bugs silently inflating throughput.
+
+Two interchangeable main loops drive the model:
+
+* the **legacy loop** (:meth:`Engine.run` with ``fast_path=False``) steps
+  every master and the fabric once per cycle — the reference semantics;
+* the **fast path** (default) skips masters that provably cannot issue
+  this cycle (credits exhausted / pacing meter pending) and, when every
+  master is asleep, asks the fabric for its *event horizon*
+  (:meth:`~repro.fabric.base.BaseFabric.next_event`) and jumps the clock
+  forward over provably empty cycles.
+
+The fast path is an optimization, never a model change: skipped work is
+exactly the work the legacy loop would have executed as a no-op, so both
+loops produce bit-identical :class:`SimReport` results (enforced by the
+differential tests in ``tests/test_engine_fastpath.py``).
 """
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
 from ..axi.master import MasterPort, TrafficSource
@@ -50,10 +66,31 @@ class Engine:
                 idx, platform, src, outstanding_limit=self.config.outstanding))
         self.stats = StatsCollector(platform, self.config.warmup)
         self.cycle = 0
+        #: Cycles the last :meth:`run` actually stepped (diagnostics; equals
+        #: ``config.cycles`` on the legacy path, typically less on the fast
+        #: path when quiescent stretches were skipped).
+        self.stepped_cycles = 0
 
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> SimReport:
+        if self.config.fast_path:
+            self._run_fast()
+        else:
+            self._run_legacy()
+        fabric = self.fabric
+        masters = self.masters
+        self.stats.finalize_dram(fabric.pchs)
+        issued = sum(mp.issued for mp in masters)
+        completed = sum(mp.completed for mp in masters)
+        if completed > issued:
+            raise SimulationError("completed more transactions than issued")
+        return self.stats.report(self.config.cycles, issued=issued,
+                                 completed=completed,
+                                 fabric_name=fabric.name)
+
+    def _run_legacy(self) -> None:
+        """The reference per-cycle loop: every master, every cycle."""
         fabric = self.fabric
         masters = self.masters
         by_index = {mp.index: mp for mp in masters}
@@ -75,40 +112,127 @@ class Engine:
                     stats.record(txn, cycle)
                     for obs in observers:
                         obs.on_complete(txn, cycle)
-        stats.finalize_dram(fabric.pchs)
-        issued = sum(mp.issued for mp in masters)
-        completed = sum(mp.completed for mp in masters)
-        if completed > issued:
-            raise SimulationError("completed more transactions than issued")
-        return stats.report(self.config.cycles, issued=issued,
-                            completed=completed,
-                            fabric_name=fabric.name)
+        self.stepped_cycles = self.config.cycles
+
+    def _run_fast(self) -> None:
+        """Batched loop: skip provably idle masters and empty cycles.
+
+        Per-master ``wake`` cycles encode when a master next needs
+        stepping (see :meth:`MasterPort.wake_after`); a completion wakes
+        its master for the following cycle.  When every master sleeps
+        beyond the next cycle, the clock jumps to the earliest of the
+        master horizon, the fabric's event horizon, the end of warmup
+        (the DRAM snapshot boundary), and the end of the run.  The
+        skipped cycles are exactly those in which the legacy loop would
+        have executed no observable work.
+        """
+        fabric = self.fabric
+        masters = self.masters
+        by_index = {mp.index: mp for mp in masters}
+        slot = {mp.index: i for i, mp in enumerate(masters)}
+        stats = self.stats
+        observers = self.observers
+        warmup = self.config.warmup
+        cycles = self.config.cycles
+        wake: List[float] = [0.0] * len(masters)
+        snapshotted = False
+        stepped = 0
+        cycle = 0
+        while cycle < cycles:
+            self.cycle = cycle
+            stepped += 1
+            if not snapshotted and cycle >= warmup:
+                stats.snapshot_dram(fabric.pchs)
+                snapshotted = True
+            for i, mp in enumerate(masters):
+                if wake[i] <= cycle:
+                    mp.step(cycle, fabric)
+                    wake[i] = mp.wake_after(cycle)
+            fabric.step(cycle)
+            done = fabric.completions
+            if done:
+                fabric.completions = []
+                for txn, _time in done:
+                    mp = by_index[txn.master]
+                    mp.on_complete(txn, cycle)
+                    i = slot[txn.master]
+                    if wake[i] > cycle + 1:
+                        wake[i] = cycle + 1
+                    stats.record(txn, cycle)
+                    for obs in observers:
+                        obs.on_complete(txn, cycle)
+            nxt = cycle + 1
+            horizon = min(wake) if wake else math.inf
+            if horizon > nxt:
+                target = horizon
+                if not snapshotted and warmup > cycle:
+                    if warmup < target:
+                        target = warmup
+                if target > nxt:
+                    fabric_next = fabric.next_event(cycle)
+                    if fabric_next < target:
+                        target = fabric_next
+                if target > nxt:
+                    nxt = int(min(target, cycles))
+            cycle = nxt
+        if not snapshotted:
+            # warmup == cycles is rejected by SimConfig, so the snapshot
+            # always lands inside the loop; keep a defensive fallback.
+            stats.snapshot_dram(fabric.pchs)  # pragma: no cover
+        # The legacy loop leaves ``self.cycle`` at the last simulated
+        # cycle; match it so drain() proceeds identically after a run
+        # whose trailing quiet cycles were skipped.
+        self.cycle = cycles - 1
+        self.stepped_cycles = stepped
 
     def drain(self, max_cycles: int = 200_000) -> int:
         """Run extra cycles (without issuing) until the fabric is quiescent.
 
         Returns the number of drain cycles used.  Raises
         :class:`~repro.errors.SimulationError` when the fabric does not
-        drain — a deadlock or a lost transaction.
+        drain — a deadlock or a lost transaction.  Master
+        ``outstanding_limit`` credits are suspended for the duration of
+        the drain and restored afterwards, so the engine remains usable
+        (e.g. phased workloads that drain between phases).
         """
         fabric = self.fabric
-        by_index = {mp.index: mp for mp in self.masters}
-        for mp in self.masters:
+        masters = self.masters
+        by_index = {mp.index: mp for mp in masters}
+        saved_limits = [mp.outstanding_limit for mp in masters]
+        for mp in masters:
             mp.outstanding_limit = 0  # stop issuing
+        fast = self.config.fast_path
         start = self.cycle + 1
-        for cycle in range(start, start + max_cycles):
-            self.cycle = cycle
-            fabric.step(cycle)
-            done = fabric.completions
-            if done:
-                fabric.completions = []
-                for txn, _t in done:
-                    by_index[txn.master].on_complete(txn, cycle)
-            if fabric.quiescent() and all(mp.outstanding == 0 for mp in self.masters):
-                return cycle - start + 1
+        end = start + max_cycles
+        try:
+            cycle = start
+            while cycle < end:
+                self.cycle = cycle
+                fabric.step(cycle)
+                done = fabric.completions
+                if done:
+                    fabric.completions = []
+                    for txn, _t in done:
+                        by_index[txn.master].on_complete(txn, cycle)
+                if fabric.quiescent() and all(
+                        mp.outstanding == 0 for mp in masters):
+                    return cycle - start + 1
+                nxt = cycle + 1
+                if fast:
+                    fabric_next = fabric.next_event(cycle)
+                    if fabric_next > nxt:
+                        # Nothing can happen before the horizon; jump.
+                        # An infinite horizon with work still in flight
+                        # means a transaction was lost — fail fast at the
+                        # deadline instead of spinning to it.
+                        nxt = int(min(fabric_next, end))
+                cycle = nxt
+        finally:
+            for mp, limit in zip(masters, saved_limits):
+                mp.outstanding_limit = limit
         raise SimulationError(
             f"fabric failed to drain within {max_cycles} cycles "
-            f"({sum(mp.outstanding for mp in self.masters)} transactions stuck)")
+            f"({sum(mp.outstanding for mp in masters)} transactions stuck)")
 
 
 def simulate(

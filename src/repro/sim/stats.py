@@ -17,6 +17,18 @@ from ..params import HbmPlatform, gbps
 from ..types import Direction
 
 
+#: Buckets of the log2 latency histograms: bucket ``i`` counts round-trip
+#: latencies (accelerator cycles) in ``[2**(i-1), 2**i)``, bucket 0 the
+#: sub-cycle residue.  24 buckets cover anything a sane run produces.
+HIST_BUCKETS = 24
+
+
+def hist_bucket(latency: float) -> int:
+    """Histogram bucket of one latency sample."""
+    b = int(latency).bit_length()
+    return b if b < HIST_BUCKETS else HIST_BUCKETS - 1
+
+
 class OnlineStats:
     """Welford online mean/variance accumulator."""
 
@@ -86,6 +98,10 @@ class SimReport:
     per_pch_bytes: List[int]
     per_master_bytes: List[int]
     fabric_name: str = ""
+    #: Log2 histograms of round-trip latency (accelerator cycles), one
+    #: count per :data:`HIST_BUCKETS` bucket; empty when unrecorded.
+    read_latency_hist: List[int] = field(default_factory=list)
+    write_latency_hist: List[int] = field(default_factory=list)
 
     # -- derived -----------------------------------------------------------------
 
@@ -152,6 +168,8 @@ class StatsCollector:
         self.write_bytes = 0
         self.read_latency = OnlineStats()
         self.write_latency = OnlineStats()
+        self.read_hist = [0] * HIST_BUCKETS
+        self.write_hist = [0] * HIST_BUCKETS
         self.per_pch_bytes = [0] * platform.num_pch
         self.per_master_bytes = [0] * platform.num_masters
         self._dram_baseline: Optional[tuple] = None
@@ -173,8 +191,10 @@ class StatsCollector:
             lat_accel = lat_fabric * self.platform.clock_ratio
             if txn.is_read:
                 self.read_latency.add(lat_accel)
+                self.read_hist[hist_bucket(lat_accel)] += 1
             else:
                 self.write_latency.add(lat_accel)
+                self.write_hist[hist_bucket(lat_accel)] += 1
 
     # -- DRAM-side accounting ---------------------------------------------------
 
@@ -213,4 +233,6 @@ class StatsCollector:
             per_pch_bytes=self.per_pch_bytes,
             per_master_bytes=self.per_master_bytes,
             fabric_name=fabric_name,
+            read_latency_hist=list(self.read_hist),
+            write_latency_hist=list(self.write_hist),
         )

@@ -7,6 +7,18 @@ import pytest
 from repro.params import HbmPlatform, DEFAULT_PLATFORM
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the expected CLI outputs under tests/golden/ "
+             "instead of comparing against them")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def platform() -> HbmPlatform:
     """The paper's full 32-PCH platform."""

@@ -1,0 +1,147 @@
+"""Differential tests of the engine's fast path.
+
+The fast path (batched master stepping + quiescence skipping) claims to
+be an *optimization, never a model change*: for every configuration the
+:class:`~repro.sim.stats.SimReport` must be **bit-identical** to the
+legacy strictly per-cycle loop — same Welford latency moments (which are
+float-order-sensitive, so even completion *ordering* must match), same
+byte counters, same histograms.  These tests enforce that claim over a
+grid of fabric × pattern × direction × outstanding configurations, plus
+the drain/deadlock edge cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fabric import IdealFabric, MaoFabric, SegmentedFabric
+from repro.sim import Engine, SimConfig
+from repro.traffic import make_pattern_sources
+from repro.types import Pattern, RWRatio, READ_ONLY, TWO_TO_ONE
+
+FABRICS = {
+    "xlnx": SegmentedFabric,
+    "mao": MaoFabric,
+    "ideal": IdealFabric,
+}
+
+#: The differential grid: (fabric, pattern, rw, outstanding).  Covers all
+#: three fabrics, sequential and random patterns, hot-spot (CCS) and
+#: partitioned (SCS) placement, both latency scenarios (1 and 32
+#: outstanding), and read-only vs. mixed traffic — 14 configurations.
+GRID = [
+    ("xlnx", Pattern.SCS, TWO_TO_ONE, 32),
+    ("xlnx", Pattern.CCS, TWO_TO_ONE, 32),
+    ("xlnx", Pattern.CCS, TWO_TO_ONE, 1),
+    ("xlnx", Pattern.CCS, READ_ONLY, 32),
+    ("xlnx", Pattern.CCRA, TWO_TO_ONE, 32),
+    ("xlnx", Pattern.SCRA, TWO_TO_ONE, 8),
+    ("mao", Pattern.CCS, TWO_TO_ONE, 32),
+    ("mao", Pattern.CCS, TWO_TO_ONE, 1),
+    ("mao", Pattern.CCRA, TWO_TO_ONE, 32),
+    ("mao", Pattern.CCRA, READ_ONLY, 32),
+    ("mao", Pattern.SCS, RWRatio(1, 2), 32),
+    ("ideal", Pattern.CCS, TWO_TO_ONE, 32),
+    ("ideal", Pattern.CCRA, TWO_TO_ONE, 1),
+    ("ideal", Pattern.SCS, READ_ONLY, 32),
+]
+
+
+def _run(small_platform, fabric_key, pattern, rw, outstanding, fast,
+         cycles=1200, warmup=300):
+    fabric = FABRICS[fabric_key](small_platform)
+    sources = make_pattern_sources(
+        pattern, small_platform, burst_len=8, rw=rw,
+        address_map=fabric.address_map)
+    cfg = SimConfig(cycles=cycles, warmup=warmup, outstanding=outstanding,
+                    fast_path=fast)
+    engine = Engine(fabric, sources, cfg)
+    return engine, engine.run()
+
+
+@pytest.mark.parametrize("fabric_key,pattern,rw,outstanding", GRID,
+                         ids=[f"{f}-{p.name}-{r.reads}to{r.writes}-o{o}"
+                              for f, p, r, o in GRID])
+def test_fast_path_bit_identical(small_platform, fabric_key, pattern, rw,
+                                 outstanding):
+    _, fast = _run(small_platform, fabric_key, pattern, rw, outstanding, True)
+    _, legacy = _run(small_platform, fabric_key, pattern, rw, outstanding,
+                     False)
+    # Dataclass equality covers every field, including the float Welford
+    # moments and the latency histograms.
+    assert fast == legacy
+
+
+def test_fast_path_actually_skips_cycles(small_platform):
+    """Sanity: the low-intensity latency scenario has idle stretches the
+    fast path must exploit (otherwise it silently degraded to legacy)."""
+    engine, _ = _run(small_platform, "mao", Pattern.CCS, TWO_TO_ONE, 1, True)
+    assert engine.stepped_cycles < engine.config.cycles
+
+
+def test_legacy_steps_every_cycle(small_platform):
+    engine, _ = _run(small_platform, "xlnx", Pattern.CCS, TWO_TO_ONE, 32,
+                     False)
+    assert engine.stepped_cycles == engine.config.cycles
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "legacy"])
+def test_drain_restores_outstanding_limits(small_platform, fast):
+    """Draining suspends issue credits; they must come back afterwards.
+
+    Regression test: ``drain()`` used to zero ``outstanding_limit``
+    permanently, so a drained engine could never issue again."""
+    fabric = MaoFabric(small_platform)
+    sources = make_pattern_sources(Pattern.CCS, small_platform, burst_len=8)
+    cfg = SimConfig(cycles=600, warmup=100, outstanding=16, fast_path=fast)
+    engine = Engine(fabric, sources, cfg)
+    engine.run()
+    limits_before = [mp.outstanding_limit for mp in engine.masters]
+    assert limits_before == [16] * len(engine.masters)
+    engine.drain()
+    assert [mp.outstanding_limit for mp in engine.masters] == limits_before
+    assert all(mp.outstanding == 0 for mp in engine.masters)
+    assert fabric.quiescent()
+
+
+class _LossyFabric(IdealFabric):
+    """Drops every Nth read completion — simulates a lost transaction."""
+
+    def __init__(self, *args, drop_every: int = 7, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._drop_every = drop_every
+        self._reads_seen = 0
+
+    def _on_read_data(self, txn, time):
+        self._reads_seen += 1
+        if self._reads_seen % self._drop_every == 0:
+            return  # transaction vanishes: never completes
+        super()._on_read_data(txn, time)
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "legacy"])
+def test_drain_detects_lost_transactions(small_platform, fast):
+    """A fabric that loses transactions must fail the drain loudly (the
+    conservation invariant), on both engine paths — the fast path's
+    horizon jumps must not turn the deadlock into an endless spin or a
+    silent pass."""
+    fabric = _LossyFabric(small_platform)
+    sources = make_pattern_sources(Pattern.CCS, small_platform, burst_len=8)
+    cfg = SimConfig(cycles=400, warmup=100, outstanding=8, fast_path=fast)
+    engine = Engine(fabric, sources, cfg)
+    engine.run()
+    assert sum(mp.outstanding for mp in engine.masters) > 0
+    with pytest.raises(SimulationError, match="drain"):
+        engine.drain(max_cycles=20_000)
+    # The limits are restored even on the failure path.
+    assert all(mp.outstanding_limit == 8 for mp in engine.masters)
+
+
+def test_fast_path_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST_PATH", "0")
+    assert SimConfig().fast_path is False
+    monkeypatch.setenv("REPRO_FAST_PATH", "1")
+    assert SimConfig().fast_path is True
+    monkeypatch.delenv("REPRO_FAST_PATH")
+    assert SimConfig().fast_path is True

@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the pure address/protocol layers.
+
+Two families of invariants the rest of the stack silently relies on:
+
+* the address maps are **bijections** — ``(pch_of, local_of)`` and
+  ``global_of`` are exact inverses, local offsets stay inside the PCH,
+  and distinct addresses never collide;
+* the burst splitter emits only **AXI3-legal** bursts that exactly tile
+  the (beat-widened) request: ordered, gapless, never more than 16
+  beats, never crossing a 4 KB or interleave-chunk boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axi.splitter import covered_bytes, split_and_validate
+from repro.core.address_map import ContiguousMap, InterleavedMap
+from repro.errors import AxiProtocolError
+from repro.params import BYTES_PER_BEAT, MAX_BURST_LEN, HbmPlatform
+
+#: Small platform keeps the address space searchable; capacity and
+#: granularities are still realistic powers of two.
+PLATFORM = HbmPlatform(num_pch=8, pch_capacity=1 * 1024 * 1024)
+
+MAPS = {
+    "contiguous": lambda: ContiguousMap(PLATFORM),
+    "interleaved-512": lambda: InterleavedMap(PLATFORM, 512),
+    "interleaved-4k": lambda: InterleavedMap(PLATFORM, 4096),
+}
+
+addresses = st.integers(min_value=0, max_value=PLATFORM.total_capacity - 1)
+pchs = st.integers(min_value=0, max_value=PLATFORM.num_pch - 1)
+locals_ = st.integers(min_value=0, max_value=PLATFORM.pch_capacity - 1)
+
+
+@pytest.mark.parametrize("map_name", sorted(MAPS))
+@given(address=addresses)
+@settings(max_examples=200, deadline=None)
+def test_address_map_round_trip(map_name, address):
+    """global -> (pch, local) -> global is the identity."""
+    amap = MAPS[map_name]()
+    pch, local = amap.decompose(address)
+    assert 0 <= pch < PLATFORM.num_pch
+    assert 0 <= local < PLATFORM.pch_capacity
+    assert amap.global_of(pch, local) == address
+
+
+@pytest.mark.parametrize("map_name", sorted(MAPS))
+@given(pch=pchs, local=locals_)
+@settings(max_examples=200, deadline=None)
+def test_address_map_inverse_round_trip(map_name, pch, local):
+    """(pch, local) -> global -> (pch, local) is the identity (surjective
+    + injective on the full coordinate space = bijection)."""
+    amap = MAPS[map_name]()
+    address = amap.global_of(pch, local)
+    assert 0 <= address < PLATFORM.total_capacity
+    assert amap.decompose(address) == (pch, local)
+
+
+@given(address=addresses)
+@settings(max_examples=200, deadline=None)
+def test_interleave_chunks_are_contiguous_on_channel(address):
+    """Within one granularity chunk, consecutive global bytes stay on the
+    same PCH at consecutive local offsets (burst-friendliness)."""
+    amap = InterleavedMap(PLATFORM, 512)
+    pch, local = amap.decompose(address)
+    if address % 512 != 511 and address + 1 < PLATFORM.total_capacity:
+        assert amap.decompose(address + 1) == (pch, local + 1)
+
+
+requests = st.tuples(
+    st.integers(min_value=0, max_value=1 << 34),  # address
+    st.integers(min_value=1, max_value=64 * 1024),  # num_bytes
+)
+chunks = st.sampled_from([None, 512, 1024, 4096])
+
+
+@given(req=requests, chunk=chunks)
+@settings(max_examples=300, deadline=None)
+def test_splitter_exact_coverage(req, chunk):
+    """Bursts tile the beat-widened request exactly: in order, gapless,
+    and covering every requested byte."""
+    address, num_bytes = req
+    bursts = split_and_validate(address, num_bytes, chunk=chunk)
+    assert bursts
+    start = address - address % BYTES_PER_BEAT
+    end = address + num_bytes
+    if end % BYTES_PER_BEAT:
+        end += BYTES_PER_BEAT - end % BYTES_PER_BEAT
+    pos = start
+    for addr, bl in bursts:
+        assert addr == pos, "gap or overlap between bursts"
+        pos = addr + bl * BYTES_PER_BEAT
+    assert pos == end
+    assert covered_bytes(bursts) == end - start
+
+
+@given(req=requests, chunk=chunks)
+@settings(max_examples=300, deadline=None)
+def test_splitter_bursts_legal(req, chunk):
+    """Every burst is AXI3-legal and respects the cut boundaries."""
+    address, num_bytes = req
+    for addr, bl in split_and_validate(address, num_bytes, chunk=chunk):
+        assert 1 <= bl <= MAX_BURST_LEN
+        assert addr % BYTES_PER_BEAT == 0
+        last = addr + bl * BYTES_PER_BEAT - 1
+        assert addr // 4096 == last // 4096, "burst crosses 4 KB boundary"
+        if chunk is not None:
+            assert addr // chunk == last // chunk, "burst crosses chunk"
+
+
+@pytest.mark.parametrize("bad", [(0, 0), (0, -1), (-32, 8)])
+def test_splitter_rejects_illegal_requests(bad):
+    address, num_bytes = bad
+    with pytest.raises(AxiProtocolError):
+        split_and_validate(address, num_bytes)

@@ -1,0 +1,124 @@
+"""Unit tests for the experiment-level memoization cache."""
+
+from __future__ import annotations
+
+from repro.params import DEFAULT_PLATFORM, HbmPlatform
+from repro.sim.cache import SimCache, cache_enabled, sweep_key
+from repro.types import FabricKind, Pattern, TWO_TO_ONE, READ_ONLY
+
+
+def test_sweep_key_stable_and_discriminating():
+    k1 = sweep_key("pattern-sim", DEFAULT_PLATFORM, fabric=FabricKind.XLNX,
+                   pattern=Pattern.CCS, burst_len=16, rw=TWO_TO_ONE, seed=0)
+    k2 = sweep_key("pattern-sim", DEFAULT_PLATFORM, fabric=FabricKind.XLNX,
+                   pattern=Pattern.CCS, burst_len=16, rw=TWO_TO_ONE, seed=0)
+    assert k1 == k2
+    # Any parameter change produces a different key.
+    assert k1 != sweep_key("pattern-sim", DEFAULT_PLATFORM,
+                           fabric=FabricKind.MAO, pattern=Pattern.CCS,
+                           burst_len=16, rw=TWO_TO_ONE, seed=0)
+    assert k1 != sweep_key("pattern-sim", DEFAULT_PLATFORM,
+                           fabric=FabricKind.XLNX, pattern=Pattern.CCS,
+                           burst_len=16, rw=READ_ONLY, seed=0)
+    assert k1 != sweep_key("stride-sim", DEFAULT_PLATFORM,
+                           fabric=FabricKind.XLNX, pattern=Pattern.CCS,
+                           burst_len=16, rw=TWO_TO_ONE, seed=0)
+
+
+def test_sweep_key_depends_on_platform():
+    small = HbmPlatform(num_pch=8, pch_capacity=64 * 1024 * 1024)
+    k_full = sweep_key("pattern-sim", DEFAULT_PLATFORM, pattern=Pattern.CCS)
+    k_small = sweep_key("pattern-sim", small, pattern=Pattern.CCS)
+    assert k_full != k_small
+
+
+def test_memory_cache_hit_and_miss():
+    c = SimCache()
+    key = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    assert c.get(key) is None
+    c.put(key, "value")
+    assert c.get(key) == "value"
+    assert c.hits == 1 and c.misses == 1
+
+
+def test_disk_cache_round_trip(tmp_path):
+    key = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    writer = SimCache(directory=str(tmp_path))
+    writer.put(key, {"gbps": 416.7})
+    # A fresh cache instance (fresh process, conceptually) reads it back.
+    reader = SimCache(directory=str(tmp_path))
+    assert reader.get(key) == {"gbps": 416.7}
+    # A different key misses even with files present.
+    assert reader.get(sweep_key("x", DEFAULT_PLATFORM, a=2)) is None
+
+
+def test_disk_cache_ignores_corrupt_files(tmp_path):
+    key = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    c = SimCache(directory=str(tmp_path))
+    c.put(key, 123)
+    for f in tmp_path.glob("*.pkl"):
+        f.write_bytes(b"not a pickle")
+    fresh = SimCache(directory=str(tmp_path))
+    assert fresh.get(key) is None  # degraded to a miss, no exception
+
+
+def test_cache_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_CACHE", "0")
+    assert not cache_enabled()
+    c = SimCache()
+    key = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    c.put(key, "value")
+    assert c.get(key) is None
+    monkeypatch.delenv("REPRO_SIM_CACHE")
+    assert cache_enabled()
+
+
+def test_fast_path_toggle_changes_key(monkeypatch):
+    k_fast = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    monkeypatch.setenv("REPRO_FAST_PATH", "0")
+    k_legacy = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    assert k_fast != k_legacy
+
+
+def test_measure_uses_cache(small_platform):
+    """measure() returns the memoized report on a key hit."""
+    from repro.experiments._common import measure
+    from repro.fabric import MaoFabric
+    from repro.traffic import make_pattern_sources
+
+    cache = SimCache()
+    key = sweep_key("pattern-sim", small_platform, fabric=FabricKind.MAO,
+                    pattern=Pattern.CCS, burst_len=8, rw=TWO_TO_ONE, seed=0)
+
+    def one_run():
+        fab = MaoFabric(small_platform)
+        sources = make_pattern_sources(Pattern.CCS, small_platform,
+                                       burst_len=8)
+        return measure(FabricKind.MAO, sources, cycles=1000,
+                       platform=small_platform, fabric=fab,
+                       cache_key=key, cache=cache)
+
+    r1 = one_run()
+    r2 = one_run()
+    assert r2 is r1  # identity: second call never re-simulated
+    assert cache.hits == 1
+
+
+def test_parallel_sweep_prefilters_cached_points():
+    from repro.experiments.parallel import parallel_sweep
+
+    cache = SimCache()
+    calls = []
+
+    def fn(x):
+        calls.append(x)
+        return x * 10
+
+    def key_fn(x):
+        return sweep_key("unit", DEFAULT_PLATFORM, x=x)
+
+    out1 = parallel_sweep(fn, [1, 2, 3], workers=1, cache=cache, key_fn=key_fn)
+    assert out1 == [10, 20, 30] and calls == [1, 2, 3]
+    out2 = parallel_sweep(fn, [3, 2, 4], workers=1, cache=cache, key_fn=key_fn)
+    assert out2 == [30, 20, 40]
+    assert calls == [1, 2, 3, 4]  # only the new point was computed
