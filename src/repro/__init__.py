@@ -36,7 +36,8 @@ from .params import HbmPlatform, DEFAULT_PLATFORM, DramTiming, FabricTiming, gbp
 from .types import Direction, FabricKind, Pattern, RWRatio, TWO_TO_ONE
 from .errors import (
     ReproError, ConfigError, AxiProtocolError, AddressError,
-    RoutingError, SimulationError, ResourceError,
+    RoutingError, SimulationError, ResourceError, ObserverError,
+    FaultError, TransactionTimeout, DeadlockError, UnrecoverableDataError,
 )
 
 __version__ = "1.0.0"
@@ -45,7 +46,9 @@ __all__ = [
     "HbmPlatform", "DEFAULT_PLATFORM", "DramTiming", "FabricTiming", "gbps",
     "Direction", "FabricKind", "Pattern", "RWRatio", "TWO_TO_ONE",
     "ReproError", "ConfigError", "AxiProtocolError", "AddressError",
-    "RoutingError", "SimulationError", "ResourceError",
+    "RoutingError", "SimulationError", "ResourceError", "ObserverError",
+    "FaultError", "TransactionTimeout", "DeadlockError",
+    "UnrecoverableDataError",
     "make_fabric", "quick_measure", "__version__",
 ]
 

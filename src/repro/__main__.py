@@ -1,0 +1,14 @@
+"""``python -m repro`` — alias of the ``repro-hbm`` command line.
+
+Keeps the CLI reachable without an installed entry point::
+
+    python -m repro list
+    python -m repro chaos --scenario pch-offline
+"""
+
+import sys
+
+from .experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,10 +16,11 @@ fabric, modeling the two accelerator-side constraints the paper analyzes:
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Optional, Protocol
+from typing import Callable, List, Optional, Protocol, Tuple
 
-from ..axi.transaction import AxiTransaction
+from ..axi.transaction import AxiTransaction, STATUS_OK
 from ..params import HbmPlatform
 
 
@@ -38,7 +39,10 @@ class MasterPort:
 
     __slots__ = ("index", "platform", "source", "outstanding_limit",
                  "outstanding", "next_issue", "_staged", "issued", "completed",
-                 "read_issued", "write_issued", "exhausted")
+                 "read_issued", "write_issued", "exhausted",
+                 "_retry", "_retry_seq", "retries", "nacks", "unrecoverable",
+                 "max_retries", "backoff_base", "backoff_cap", "on_issue",
+                 "draining")
 
     def __init__(
         self,
@@ -46,6 +50,9 @@ class MasterPort:
         platform: HbmPlatform,
         source: TrafficSource,
         outstanding_limit: int = 32,
+        max_retries: int = 8,
+        backoff_base: int = 16,
+        backoff_cap: int = 1024,
     ) -> None:
         self.index = index
         self.platform = platform
@@ -61,12 +68,58 @@ class MasterPort:
         self.write_issued = 0
         #: The source returned None at least once (finite workloads).
         self.exhausted = False
+        #: Retry queue of NACKed/poisoned transactions: (due, seq, txn)
+        #: min-heap; a transaction waits out its capped exponential
+        #: backoff before re-entering the issue path.
+        self._retry: List[Tuple[int, int, AxiTransaction]] = []
+        self._retry_seq = 0
+        self.retries = 0
+        self.nacks = 0
+        #: Transactions abandoned after ``max_retries`` failed attempts.
+        self.unrecoverable = 0
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: Optional hook called with ``(txn, cycle)`` on every issue and
+        #: re-issue (the engine wires the transaction watchdog here).
+        self.on_issue: Optional[Callable[[AxiTransaction, int], None]] = None
+        #: Engine drain mode: retries still re-issue (they hold work the
+        #: fabric owes a completion for), fresh source traffic stops.
+        self.draining = False
 
     # -- simulation ----------------------------------------------------------
 
     def step(self, cycle: int, fabric) -> None:
-        """Issue as many transactions as credits and pacing allow."""
+        """Issue as many transactions as credits and pacing allow.
+
+        Due retries go first — they are older traffic and re-use the
+        ordinary credit and pacing budget, so a retry storm self-throttles
+        exactly like fresh traffic.
+        """
         ratio = self.platform.clock_ratio
+        retry = self._retry
+        while (retry and retry[0][0] <= cycle
+               and self.outstanding < self.outstanding_limit
+               and self.next_issue <= cycle):
+            txn = retry[0][2]
+            if not fabric.submit(txn, cycle):
+                break
+            heapq.heappop(retry)
+            # The attempt ordinal bumps at *resubmit*, not at NACK time,
+            # so observers of the failed completion still see the ordinal
+            # of the attempt that actually failed.
+            txn.retries += 1
+            txn.status = STATUS_OK
+            self.outstanding += 1
+            self.retries += 1
+            cost = txn.burst_len / ratio if txn.is_write else 1.0 / ratio
+            base = (self.next_issue if self.next_issue > cycle - 1.0
+                    else float(cycle))
+            self.next_issue = base + cost
+            if self.on_issue is not None:
+                self.on_issue(txn, cycle)
+        if self.draining:
+            return
         while (self.outstanding < self.outstanding_limit
                and self.next_issue <= cycle):
             txn = self._staged
@@ -94,6 +147,8 @@ class MasterPort:
             base = (self.next_issue if self.next_issue > cycle - 1.0
                     else float(cycle))
             self.next_issue = base + cost
+            if self.on_issue is not None:
+                self.on_issue(txn, cycle)
 
     def wake_after(self, cycle: int) -> float:
         """Earliest future cycle at which :meth:`step` could do anything.
@@ -121,7 +176,38 @@ class MasterPort:
             raise SimulationError(
                 f"master {self.index} completed more transactions than issued")
 
+    def on_nack(self, txn: AxiTransaction, cycle: int) -> bool:
+        """A failed completion (NACK or poisoned read) came back.
+
+        The credit returns immediately; the transaction waits out a capped
+        exponential backoff (``backoff_base * 2**attempt``, at most
+        ``backoff_cap`` cycles) and re-issues through :meth:`step`, which
+        bumps the attempt ordinal.  After ``max_retries`` failed attempts
+        it is abandoned and counted as unrecoverable.  Returns whether a
+        retry was scheduled.
+        """
+        self.outstanding -= 1
+        self.nacks += 1
+        if txn.retries >= self.max_retries:
+            self.unrecoverable += 1
+            return False
+        delay = self.backoff_base << txn.retries
+        if delay > self.backoff_cap:
+            delay = self.backoff_cap
+        self._retry_seq += 1
+        heapq.heappush(self._retry, (cycle + delay, self._retry_seq, txn))
+        return True
+
+    def next_retry(self) -> float:
+        """Due cycle of the earliest queued retry, ``inf`` when none."""
+        return self._retry[0][0] if self._retry else math.inf
+
+    @property
+    def retry_pending(self) -> bool:
+        return bool(self._retry)
+
     @property
     def idle(self) -> bool:
-        """No credit in use and no staged retry."""
-        return self.outstanding == 0 and self._staged is None
+        """No credit in use, no staged retry, no backoff queue."""
+        return (self.outstanding == 0 and self._staged is None
+                and not self._retry)

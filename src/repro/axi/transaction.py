@@ -26,6 +26,18 @@ _AXI_BOUNDARY = 4096
 
 _txn_counter = itertools.count()
 
+#: Completion status codes (``AxiTransaction.status``).
+STATUS_OK = 0
+#: The fabric bounced the transaction (e.g. its pseudo-channel went
+#: offline under a degradation policy); the master may retry.
+STATUS_NACK = 1
+#: Read data was corrupted beyond the SECDED code's correction
+#: capability; the master may retry (a re-read can succeed).
+STATUS_POISONED = 2
+
+STATUS_NAMES = {STATUS_OK: "ok", STATUS_NACK: "nack",
+                STATUS_POISONED: "poisoned"}
+
 
 def check_burst_legal(address: int, burst_len: int) -> None:
     """Validate an AXI3 INCR burst.
@@ -76,7 +88,7 @@ class AxiTransaction:
     __slots__ = (
         "uid", "master", "direction", "address", "burst_len", "axi_id",
         "pch", "local", "issue_cycle", "accept_cycle", "complete_cycle",
-        "beats_done", "hops",
+        "beats_done", "hops", "status", "retries",
     )
 
     def __init__(
@@ -112,6 +124,10 @@ class AxiTransaction:
         self.beats_done: int = 0
         #: Lateral hops the transaction traversed (diagnostics).
         self.hops: int = 0
+        #: Completion status (:data:`STATUS_OK` / ``NACK`` / ``POISONED``).
+        self.status: int = STATUS_OK
+        #: Times this transaction was NACKed/poisoned and re-issued.
+        self.retries: int = 0
 
     # -- derived properties --------------------------------------------------
 

@@ -72,6 +72,19 @@ class BankSet:
         self.activates += 1
         return act + penalty, False
 
+    def park(self, until: float) -> None:
+        """Block all activates until ``until`` and close every row.
+
+        Used by the fault model (refresh storm / thermal throttle): a
+        storm of back-to-back refreshes closes the open rows and keeps
+        the banks busy, so the first access afterwards pays a full
+        activate on a cold bank.
+        """
+        for bank in range(self.timing.num_banks):
+            if self.next_act[bank] < until:
+                self.next_act[bank] = until
+            self.open_row[bank] = -1
+
     @property
     def hit_rate(self) -> float:
         total = self.activates + self.row_hits

@@ -93,6 +93,7 @@ class MemoryController:
         on_write_accept: CompletionFn,
         response_space: SpaceFn,
         mc_latency: int = 0,
+        on_nack: Optional[CompletionFn] = None,
     ) -> None:
         self.index = index
         self.pchs = pchs
@@ -102,6 +103,13 @@ class MemoryController:
         self.on_write_accept = on_write_accept
         self.response_space = response_space
         self.mc_latency = mc_latency
+        #: Bounce path for requests that hit an offline pseudo-channel
+        #: (wired by the fabric; used only under a degradation policy).
+        self.on_nack = on_nack
+        #: Degradation policy flag, set by the fault injector: when true,
+        #: requests arriving at an offline PCH are NACKed back to their
+        #: master instead of queueing forever.
+        self.degrade_offline = False
         #: Shared command-path meter.
         self.cmd_free: float = 0.0
         #: Per-PCH scheduler queues (txns with .pch/.local already set).
@@ -128,6 +136,13 @@ class MemoryController:
         leaves the flit in its landing FIFO and retries next cycle.
         """
         li = self.local_index(txn.pch)
+        fault = self.pchs[li].fault
+        if fault is not None and fault.offline and self.degrade_offline \
+                and self.on_nack is not None:
+            # Dead channel under a degradation policy: bounce the request
+            # so the master's retry re-resolves through the remap table.
+            self.on_nack(txn, float(cycle))
+            return True
         q = self.queues[li]
         if len(q) >= self.sched.queue_capacity:
             return False
@@ -153,6 +168,12 @@ class MemoryController:
         s = self.sched
         commit_horizon = cycle + s.horizon
         for li, pch in enumerate(self.pchs):
+            fault = pch.fault
+            if fault is not None and fault.offline:
+                # A dead channel services nothing; without a degradation
+                # policy its queued requests sit here until the watchdog
+                # turns the silence into a TransactionTimeout.
+                continue
             q = self.queues[li]
             # Inlined pch.ready_for_service(cycle, s.horizon) — this loop
             # runs every cycle for every pseudo-channel.
@@ -248,6 +269,21 @@ class MemoryController:
         return math.inf
 
     # -- invariants / reporting ----------------------------------------------
+
+    def flush_offline(self, pch_index: int, cycle: int) -> List[AxiTransaction]:
+        """Evict everything queued for a (newly offline) pseudo-channel.
+
+        Returns the evicted transactions; the caller (the fault injector,
+        under a degradation policy) NACKs them back to their masters.
+        Read data already committed to the DRAM bus (``_pending``) still
+        delivers — the failure point is the command interface, not data
+        in flight out of the channel.
+        """
+        li = self.local_index(pch_index)
+        q = self.queues[li]
+        flushed = list(q)
+        q.clear()
+        return flushed
 
     def pending_reads(self, pch_index: int) -> int:
         """Read-data events booked but not yet delivered for a PCH."""

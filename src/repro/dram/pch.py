@@ -25,8 +25,9 @@ decides *which* transaction to service (scheduling policy).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..axi.transaction import AxiTransaction
+from ..axi.transaction import AxiTransaction, STATUS_POISONED
 from ..params import DramTiming
 from .bank import BankSet
 
@@ -43,6 +44,8 @@ class PchCounters:
     port_stalls: int = 0
     miss_gaps: int = 0
     refreshes: int = 0
+    ecc_corrected: int = 0
+    ecc_uncorrectable: int = 0
 
     def merge(self, other: "PchCounters") -> None:
         self.txns_serviced += other.txns_serviced
@@ -53,6 +56,29 @@ class PchCounters:
         self.port_stalls += other.port_stalls
         self.miss_gaps += other.miss_gaps
         self.refreshes += other.refreshes
+        self.ecc_corrected += other.ecc_corrected
+        self.ecc_uncorrectable += other.ecc_uncorrectable
+
+
+@dataclass
+class PchFaultState:
+    """Mutable fault condition of one pseudo-channel.
+
+    Installed lazily by the :class:`~repro.faults.FaultInjector` when a
+    fault first targets the channel; ``PseudoChannel.fault`` stays
+    ``None`` on the fault-free path, so healthy runs pay one attribute
+    check per service call and nothing else.
+    """
+
+    #: Hard failure: the channel stopped servicing (permanent).
+    offline: bool = False
+    #: Timing multiplier window (refresh storm / thermal throttle).
+    slow_until: float = -1.0
+    slow_factor: float = 1.0
+    #: Data-corruption window; ``ecc`` classifies each transferred beat.
+    corrupt_until: float = -1.0
+    corrupt_rate: float = 0.0
+    ecc: Optional[object] = None  # duck-typed SecdedModel
 
 
 _DIR_NONE = -1
@@ -66,7 +92,7 @@ class PseudoChannel:
     __slots__ = ("index", "timing", "port_ratio", "banks", "bus_free",
                  "last_dir", "miss_streak", "last_miss_row",
                  "last_miss_delta", "chan_debt", "next_refresh", "refresh_bank",
-                 "counters")
+                 "counters", "fault")
 
     def __init__(self, index: int, timing: DramTiming,
                  refresh_phase: int = 0, port_ratio: float = 2.0 / 3.0) -> None:
@@ -93,6 +119,8 @@ class PseudoChannel:
         self.next_refresh: float = float(phase if phase else first)
         self.refresh_bank = 0
         self.counters = PchCounters()
+        #: Fault condition, or ``None`` while healthy (the common case).
+        self.fault: Optional[PchFaultState] = None
 
     # -- scheduling gates -------------------------------------------------------
 
@@ -186,7 +214,14 @@ class PseudoChannel:
 
         start = column_ready if column_ready > bus else bus
         burst = txn.burst_len
-        end = start + burst
+        fault = self.fault
+        if fault is not None and cycle < fault.slow_until:
+            # Refresh storm / thermal throttle: the transfer occupies the
+            # bus ``slow_factor`` times longer (the paper's effective-
+            # bandwidth collapse under adverse DRAM conditions).
+            end = start + burst * fault.slow_factor
+        else:
+            end = start + burst
         self.bus_free = end
         # Port-rate token bucket: the direction's long-run beat rate is
         # capped at the accelerator-domain port clock.
@@ -198,6 +233,17 @@ class PseudoChannel:
         c.txns_serviced += 1
         c.beats_transferred += burst
         if d == _DIR_READ:
+            if (fault is not None and fault.ecc is not None
+                    and cycle < fault.corrupt_until):
+                # SECDED classification of each read beat leaving the
+                # DRAM; keyed by the channel's cumulative beat counter so
+                # the outcome is path-independent (see repro.faults.ecc).
+                corr, uncorr = fault.ecc.classify_burst(
+                    self.index, c.read_beats, burst, fault.corrupt_rate)
+                c.ecc_corrected += corr
+                if uncorr:
+                    c.ecc_uncorrectable += uncorr
+                    txn.status = STATUS_POISONED
             c.read_beats += burst
             exit_time = end + t.cas_latency
         else:

@@ -4,6 +4,29 @@ All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything coming out of the reproduction with a single ``except``
 clause while still distinguishing configuration mistakes from protocol
 violations detected inside the simulation.
+
+Hierarchy::
+
+    ReproError
+    ├── ConfigError            invalid user-supplied configuration
+    ├── AxiProtocolError       AXI3 protocol violation in a transaction
+    ├── AddressError           address outside capacity / misaligned
+    ├── RoutingError           interconnect cannot route a transaction
+    ├── SimulationError        internal simulator invariant violated (a bug)
+    │   └── ObserverError      an observer hook raised during completion
+    ├── ResourceError          design exceeds FPGA resource capacity
+    └── FaultError             *modelled* hardware misbehaving (repro.faults)
+        ├── TransactionTimeout a watched transaction exceeded its deadline
+        ├── DeadlockError      global progress watchdog: no forward progress
+        └── UnrecoverableDataError  uncorrectable data corruption (SECDED)
+
+The split between :class:`SimulationError` and :class:`FaultError` is
+deliberate: the former always indicates a *simulator* bug (a beat retired
+twice, conservation accounting broken), while the latter reports modelled
+*hardware* failure behaviour injected through a
+:class:`~repro.faults.FaultPlan` — a dead pseudo-channel, a stalled link,
+corrupted data.  Resilience experiments catch ``FaultError`` and keep
+going; nothing should ever catch ``SimulationError`` and keep going.
 """
 
 from __future__ import annotations
@@ -38,9 +61,51 @@ class SimulationError(ReproError):
     """Internal invariant of the cycle simulation was violated.
 
     This indicates a bug in the simulator (e.g. a beat retired twice or a
-    conservation check failing), never a user error.
+    conservation check failing), never a user error and never modelled
+    hardware misbehaviour (that is :class:`FaultError`).
+    """
+
+
+class ObserverError(SimulationError):
+    """An observer's ``on_complete`` hook raised.
+
+    The engine finishes the conservation accounting for the whole
+    completion batch before raising this, so the failure of an
+    *observer* (a trace recorder, a live plot) can never corrupt the
+    simulation's own bookkeeping.  The original exception is attached as
+    ``__cause__``.
     """
 
 
 class ResourceError(ReproError):
     """A design does not fit the FPGA's resource capacity."""
+
+
+class FaultError(ReproError):
+    """Modelled hardware misbehaved (base class of the fault model).
+
+    Raised (or collected) by the :mod:`repro.faults` subsystem when an
+    injected fault manifests: this is *simulated hardware failing as
+    instructed*, not a simulator bug.
+    """
+
+
+class TransactionTimeout(FaultError):
+    """A watched transaction exceeded ``txn_timeout_cycles``.
+
+    The per-transaction watchdog turns silently-lost transactions (for
+    example requests queued behind a pseudo-channel that went offline
+    without a degradation policy) into a typed, diagnosable error instead
+    of an apparent hang.
+    """
+
+
+class DeadlockError(FaultError):
+    """The global progress watchdog saw in-flight work but no completions
+    for ``progress_timeout_cycles`` — a deadlock, as opposed to the long
+    (but provably empty) quiescent stretches the fast path skips."""
+
+
+class UnrecoverableDataError(FaultError):
+    """Data corruption exceeded the SECDED code's correction capability
+    and retries were exhausted (or disabled)."""

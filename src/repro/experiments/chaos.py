@@ -1,0 +1,34 @@
+"""Chaos experiment: resilience of the HBM stack under injected faults.
+
+Not a paper artifact — a robustness study layered on the reproduction.
+The fault scenarios live in :mod:`repro.faults.chaos`; this module merely
+adapts the suite to the experiment-registry interface (``run`` /
+``format_table``) so ``repro-hbm run chaos`` and the report pipeline can
+drive it like any figure.  The CLI's dedicated ``chaos`` subcommand
+exposes the finer knobs (single scenario, fabric, pattern, seed).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..faults.chaos import ChaosResult, format_report, run_suite
+
+PAPER_REFERENCE = {
+    "note": "robustness extension beyond the paper; no reference values",
+}
+
+#: The registry run is a smaller horizon than the figures: every scenario
+#: simulates twice (baseline + faulted), and steady state under fault is
+#: reached well before 12k cycles.
+CHAOS_CYCLES = 6000
+
+
+def run(cycles: int = CHAOS_CYCLES) -> List[ChaosResult]:
+    """Run the whole scenario library on the vendor fabric."""
+    return run_suite(cycles=cycles)
+
+
+def format_table(results: Sequence[ChaosResult]) -> str:
+    """Render the per-scenario resilience reports."""
+    return format_report(results)

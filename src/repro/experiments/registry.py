@@ -6,9 +6,10 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 from ..errors import ConfigError
-from . import (extensions, fig2_rw_ratio, fig3_burst_length, fig4_rotation,
-               fig5_stride, fig6_reorder, fig7_roofline, table2_latency,
-               table3_resources, table4_throughput, table5_accelerators)
+from . import (chaos, extensions, fig2_rw_ratio, fig3_burst_length,
+               fig4_rotation, fig5_stride, fig6_reorder, fig7_roofline,
+               table2_latency, table3_resources, table4_throughput,
+               table5_accelerators)
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "extensions", "What-if studies beyond the paper",
         extensions.run, extensions.format_table,
         extensions.PAPER_REFERENCE),
+    "chaos": ExperimentSpec(
+        "chaos", "Resilience under injected faults (chaos suite)",
+        chaos.run, chaos.format_table,
+        chaos.PAPER_REFERENCE),
 }
 
 

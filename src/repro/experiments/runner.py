@@ -7,6 +7,7 @@ Usage::
     repro-hbm all [--cycles 8000] [--out results.txt]
     repro-hbm estimate --pattern CCS --fabric mao --rw 2:1 --burst 16
     repro-hbm advise --pattern CCRA --fabric xlnx --outstanding 4
+    repro-hbm chaos --scenario pch-offline [--fabric xlnx] [--seed 0]
 """
 
 from __future__ import annotations
@@ -66,6 +67,19 @@ def _cmd_advise(args) -> str:
     return "\n".join(str(f) for f in findings)
 
 
+def _cmd_chaos(args) -> str:
+    from ..faults.chaos import format_report, run_suite
+    scenarios = None if args.scenario == "all" else [args.scenario]
+    results = run_suite(
+        scenarios,
+        fabric=FabricKind(args.fabric),
+        pattern=Pattern[args.pattern],
+        cycles=args.cycles,
+        seed=args.seed,
+    )
+    return format_report(results)
+
+
 def _cmd_list() -> str:
     lines = ["available experiments:"]
     for key in sorted(EXPERIMENTS):
@@ -119,6 +133,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                             f"{', '.join(sorted(EXPERIMENTS))})")
     p_rep.add_argument("--cycles", type=int, default=None)
     p_rep.add_argument("--out", type=str, default="results_report.md")
+    from ..faults.chaos import SCENARIOS
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection resilience report", parents=[sim_opts])
+    p_chaos.add_argument("--scenario", default="all",
+                         choices=["all"] + sorted(SCENARIOS),
+                         help="fault scenario to run (default: the whole "
+                              "suite)")
+    p_chaos.add_argument("--fabric", choices=[f.value for f in FabricKind],
+                         default="xlnx")
+    p_chaos.add_argument("--pattern", choices=[p_.name for p_ in Pattern],
+                         default="SCS")
+    p_chaos.add_argument("--cycles", type=int, default=6000,
+                         help="simulation horizon in fabric cycles")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="traffic and fault-plan seed")
+    p_chaos.add_argument("--out", type=str, default=None)
     for name, helptext in (("estimate", "analytical bandwidth estimate"),
                            ("advise", "check a design against the guidelines")):
         p = sub.add_parser(name, help=helptext)
@@ -144,6 +174,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "advise":
         print(_cmd_advise(args))
+        return 0
+    if args.command == "chaos":
+        text = _cmd_chaos(args)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.out}")
+        else:
+            print(text)
         return 0
     if args.command == "report":
         from .report import generate_report

@@ -24,7 +24,7 @@ import math
 from collections import deque
 from typing import List, Optional, Tuple
 
-from ..axi.transaction import AxiTransaction
+from ..axi.transaction import AxiTransaction, STATUS_NACK
 from ..core.address_map import AddressMap
 from ..dram.controller import MemoryController, SchedulerConfig
 from ..dram.pch import PseudoChannel
@@ -47,6 +47,12 @@ class BaseFabric:
         self.sched = sched or SchedulerConfig()
         #: Transactions completed this cycle: (txn, completion_cycle).
         self.completions: List[Tuple[AxiTransaction, float]] = []
+        #: Degradation remap (PCH -> surviving PCH), or ``None`` while the
+        #: device is healthy.  Installed by the fault injector when a PCH
+        #: goes offline under a degradation policy; applied in
+        #: :meth:`_resolve` so retried *and* new traffic lands on
+        #: survivors.
+        self.fault_remap: Optional[List[int]] = None
         #: Directly scheduled completion events (write acks, etc.).
         self._events: List[tuple] = []
         self._event_seq = 0
@@ -68,6 +74,7 @@ class BaseFabric:
                 on_write_accept=self._on_write_accept,
                 response_space=self._response_space,
                 mc_latency=platform.fabric.mc_latency,
+                on_nack=self._on_nack,
             ))
         #: Hot-path lookup: PCH index -> its memory controller.
         self._mc_by_pch: List[MemoryController] = [
@@ -125,9 +132,39 @@ class BaseFabric:
     # -- shared helpers ----------------------------------------------------------
 
     def _resolve(self, txn: AxiTransaction) -> None:
-        """Fill in destination PCH and local offset from the address map."""
-        txn.pch = self.address_map.pch_of(txn.address)
+        """Fill in destination PCH and local offset from the address map.
+
+        Under an active degradation remap the nominal PCH is redirected to
+        its survivor; the local offset is unchanged (survivors mirror the
+        dead channel's address window, trading capacity for liveness).
+        """
+        pch = self.address_map.pch_of(txn.address)
+        remap = self.fault_remap
+        if remap is not None:
+            pch = remap[pch]
+        txn.pch = pch
         txn.local = self.address_map.local_of(txn.address)
+
+    def _on_nack(self, txn: AxiTransaction, time: float) -> None:
+        """Bounce ``txn`` back to its master as a NACK completion.
+
+        The response travels the ordinary completion path (one cycle of
+        response latency) so the engine and observers see every attempt;
+        the master's retry logic decides whether to re-issue.
+        """
+        txn.status = STATUS_NACK
+        self._schedule_completion(txn, time + 1.0)
+
+    def apply_link_stall(self, until: float, cut: Optional[int] = None) -> None:
+        """Freeze part of the interconnect until cycle ``until``.
+
+        ``cut`` selects a lateral boundary where the fabric topology has
+        one (the segmented crossbar's shared buses, the MAO's switch
+        stage); fabrics without lateral structure stall their ingress.
+        The base class has no interconnect of its own, so this is a
+        no-op hook; each fabric overrides it with its own notion of a
+        stalled link.
+        """
 
     def _schedule_completion(self, txn: AxiTransaction, time: float) -> None:
         self._event_seq += 1

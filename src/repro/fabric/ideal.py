@@ -37,6 +37,9 @@ class IdealFabric(BaseFabric):
         self._in_transit: List[tuple] = []
         self._seq = 0
         self._staged: Deque[AxiTransaction] = deque()
+        #: Fault hook: ingress frozen until this cycle (no lateral
+        #: structure exists to stall selectively).
+        self._stall_until: float = 0.0
 
     def submit(self, txn: AxiTransaction, cycle: int) -> bool:
         self._resolve(txn)
@@ -46,15 +49,20 @@ class IdealFabric(BaseFabric):
         return True
 
     def step(self, cycle: int) -> None:
-        transit = self._in_transit
-        while transit and transit[0][0] <= cycle:
-            _, _, txn = heapq.heappop(transit)
-            self._staged.append(txn)
-        if self._staged:
-            self._staged = self._retry_staged(self._staged, cycle)
+        if cycle >= self._stall_until:
+            transit = self._in_transit
+            while transit and transit[0][0] <= cycle:
+                _, _, txn = heapq.heappop(transit)
+                self._staged.append(txn)
+            if self._staged:
+                self._staged = self._retry_staged(self._staged, cycle)
         for mc in self.mcs:
             mc.step(cycle)
         self._pop_due_events(cycle)
+
+    def apply_link_stall(self, until: float, cut: Optional[int] = None) -> None:
+        if until > self._stall_until:
+            self._stall_until = until
 
     def quiescent(self) -> bool:
         return (not self._in_transit and not self._staged

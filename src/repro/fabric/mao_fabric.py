@@ -149,6 +149,31 @@ class MaoFabric(BaseFabric):
                 nxt = t
         return nxt if nxt > cycle + 1 else cycle + 1
 
+    # -- fault hooks ---------------------------------------------------------------
+
+    def apply_link_stall(self, until: float, cut: Optional[int] = None) -> None:
+        """Freeze the distribution network's PCH-side acceptance ports.
+
+        The MAO has no lateral cuts; a stalled switch stage means no
+        request reaches any pseudo-channel until ``until`` (in-flight
+        responses still deliver — they already left the stalled stage).
+        """
+        acc = self._accept_free
+        for p in range(len(acc)):
+            if acc[p] < until:
+                acc[p] = until
+
+    def _on_nack(self, txn: AxiTransaction, time: float) -> None:
+        # The read's resources were claimed at submit: give back its
+        # in-flight slot and retire its AXI ID lane turn (the NACK
+        # response occupies the slot its data would have), otherwise a
+        # flushed channel leaks read credits and the master starves.
+        if txn.is_read:
+            m = txn.master
+            self._reads_in_flight[m] -= 1
+            self.reorder[m].release_time(txn.axi_id, time + 1.0)
+        super()._on_nack(txn, time)
+
     # -- controller callbacks ------------------------------------------------------
 
     def _on_read_data(self, txn: AxiTransaction, time: float) -> None:

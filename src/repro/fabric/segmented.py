@@ -18,6 +18,7 @@ from typing import List, Optional
 from ..axi.transaction import AxiTransaction
 from ..core.address_map import AddressMap, ContiguousMap
 from ..dram.controller import SchedulerConfig
+from ..errors import ConfigError
 from ..params import HbmPlatform, DEFAULT_PLATFORM
 from .base import BaseFabric
 from .links import ArbOutput, Fifo, Flit, SharedBus, REQUEST, RESPONSE
@@ -301,6 +302,31 @@ class SegmentedFabric(BaseFabric):
                 if t < nxt:
                     nxt = t
         return nxt if nxt > cycle + 1 else cycle + 1
+
+    # -- fault hooks ---------------------------------------------------------------
+
+    def apply_link_stall(self, until: float, cut: Optional[int] = None) -> None:
+        """Freeze the lateral buses over one cut (or every cut).
+
+        The request and response ArbOutputs of a lateral connection share
+        one :class:`~repro.fabric.links.SharedBus` meter, so pushing its
+        ``busy_until`` forward stalls both directions — traffic crossing
+        the cut queues up in the hop FIFOs and drains when the stall ends
+        (head-of-line blocking then ripples exactly as in a healthy
+        congested fabric).
+        """
+        num_cuts = self.platform.num_switches - 1
+        if cut is None:
+            cuts = range(num_cuts)
+        else:
+            if not 0 <= cut < num_cuts:
+                raise ConfigError(
+                    f"lateral cut {cut} out of range 0..{num_cuts - 1}")
+            cuts = (cut,)
+        for c in cuts:
+            for bus in self._shared_right[c] + self._shared_left[c]:
+                if bus.busy_until < until:
+                    bus.busy_until = until
 
     # -- controller callbacks ------------------------------------------------------
 

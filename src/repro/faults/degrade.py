@@ -1,0 +1,79 @@
+"""Graceful degradation: masking dead pseudo-channels.
+
+When a PCH goes offline the system has two choices: hang (and let the
+watchdog diagnose the hang) or *degrade* — mask the dead channel and keep
+serving traffic at reduced bandwidth.  Degradation has two halves:
+
+* **Remapping** (this module): a deterministic table sending each dead
+  channel's traffic to a survivor.  The fabric consults the table when it
+  resolves a transaction's destination, so retried and newly issued
+  requests land on live channels; :class:`DegradedMap` exposes the same
+  table as an :class:`~repro.core.address_map.AddressMap` wrapper for
+  functional (data-holding) models.
+* **Bouncing** (:mod:`repro.faults.inject`): requests already queued for
+  or in flight towards the dead channel are NACKed back to their masters,
+  whose capped-exponential-backoff retry re-resolves them through the
+  remap table.
+
+The remap spreads dead channels round-robin over the survivors so a
+single failure does not double-load one neighbour more than necessary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..core.address_map import AddressMap
+from ..errors import ConfigError
+
+
+def build_remap(num_pch: int, dead: Iterable[int]) -> List[int]:
+    """Remap table: ``table[pch]`` is the channel that now serves ``pch``.
+
+    Live channels map to themselves; dead channels are assigned survivors
+    round-robin in index order.  Raises :class:`ConfigError` when no
+    survivor remains.
+    """
+    dead_set = set(dead)
+    for p in dead_set:
+        if not 0 <= p < num_pch:
+            raise ConfigError(f"dead pch {p} out of range 0..{num_pch - 1}")
+    survivors = [p for p in range(num_pch) if p not in dead_set]
+    if not survivors:
+        raise ConfigError("cannot degrade: every pseudo-channel is dead")
+    table = list(range(num_pch))
+    for i, p in enumerate(sorted(dead_set)):
+        table[p] = survivors[i % len(survivors)]
+    return table
+
+
+class DegradedMap(AddressMap):
+    """An address map with dead channels masked onto survivors.
+
+    Wraps any base map: ``pch_of`` goes through the remap table while the
+    local offset is preserved (the survivor serves the dead channel's
+    local address space alongside its own — a timing-model view; the
+    capacity aliasing is deliberate and documented in DESIGN.md).  The
+    wrapper is *not* a bijection once a channel is dead — ``global_of``
+    answers for live channels only.
+    """
+
+    def __init__(self, base: AddressMap, dead: Sequence[int]) -> None:
+        super().__init__(base.platform)
+        self.base = base
+        self.dead = tuple(sorted(set(dead)))
+        self.table = build_remap(base.platform.num_pch, self.dead)
+
+    def pch_of(self, address: int) -> int:
+        return self.table[self.base.pch_of(address)]
+
+    def local_of(self, address: int) -> int:
+        return self.base.local_of(address)
+
+    def global_of(self, pch: int, local: int) -> int:
+        if pch in self.dead:
+            raise ConfigError(f"pch {pch} is offline")
+        return self.base.global_of(pch, local)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DegradedMap({self.base!r}, dead={list(self.dead)})"

@@ -118,6 +118,25 @@ class HbmMemory:
             return self.address_map.capacity - address
         return gran - address % gran
 
+    def flip_bits(self, address: int, bit_positions: Iterable[int]) -> int:
+        """Flip bits at the given offsets (in bits) relative to ``address``.
+
+        The data-side counterpart of the timing model's ``DATA_CORRUPT``
+        fault: a single flip inside a 32 B beat is what SECDED corrects
+        transparently, two flips are what a poisoned read carries.  Used
+        by the fault tests to demonstrate corruption against stored
+        contents.  Returns the number of bits flipped.
+        """
+        count = 0
+        for pos in bit_positions:
+            if pos < 0:
+                raise AddressError(f"negative bit position {pos}")
+            byte = self.read(address + (pos >> 3), 1)
+            byte[0] ^= 1 << (pos & 7)
+            self.write(address + (pos >> 3), byte)
+            count += 1
+        return count
+
     # -- convenience ------------------------------------------------------------------
 
     def write_array(self, address: int, array: np.ndarray) -> None:

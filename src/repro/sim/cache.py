@@ -32,12 +32,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import warnings
 from typing import Any, Dict, Optional, Tuple
 
 from .config import _fast_path_default
 
 #: Bump when a model change alters simulation outputs.
-MODEL_VERSION = 1
+MODEL_VERSION = 2
 
 
 def cache_enabled() -> bool:
@@ -94,12 +95,29 @@ class SimCache:
             self.hits += 1
             return self._memory[key]
         if self.directory:
+            path = self._path(key)
             try:
-                with open(self._path(key), "rb") as fh:
+                with open(path, "rb") as fh:
                     stored_key, value = pickle.load(fh)
-            except (OSError, pickle.PickleError, EOFError, ValueError):
-                pass
+            except FileNotFoundError:
+                pass  # ordinary miss
+            except Exception as exc:
+                # Corrupt, truncated, or schema-incompatible entry:
+                # unpickling hostile bytes can raise nearly anything
+                # (UnpicklingError, EOFError, AttributeError, ...).  Warn,
+                # delete the bad file so it never costs another parse, and
+                # degrade to a miss.
+                warnings.warn(
+                    f"discarding unreadable sim-cache entry {path}: "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning, stacklevel=2)
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
             else:
+                # A stored key that fails to match is a filename collision
+                # or a MODEL_VERSION mismatch — a miss, never a wrong hit.
                 if stored_key == key:
                     self._memory[key] = value
                     self.hits += 1

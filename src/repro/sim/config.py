@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..errors import ConfigError
 
@@ -42,6 +43,29 @@ class SimConfig:
     ``False`` — or export ``REPRO_FAST_PATH=0`` — to fall back to the
     legacy strictly per-cycle loop when debugging."""
 
+    txn_timeout_cycles: Optional[int] = None
+    """Per-transaction watchdog: a transaction seeing no completion (or
+    NACK) within this many cycles of its issue raises a typed
+    :class:`~repro.errors.TransactionTimeout`.  ``None`` disables the
+    watchdog (the default for healthy runs)."""
+
+    progress_timeout_cycles: Optional[int] = None
+    """Global deadlock watchdog: in-flight work with no completion for
+    this many cycles raises :class:`~repro.errors.DeadlockError`.
+    Distinguishes deadlock from quiescence — zero in-flight work never
+    trips it.  ``None`` disables the watchdog."""
+
+    max_retries: int = 8
+    """Re-issue attempts per transaction after a NACK or poisoned read
+    before it is abandoned and counted as unrecoverable."""
+
+    retry_backoff_cycles: int = 16
+    """Base retry backoff; attempt ``k`` waits ``base * 2**(k-1)``
+    cycles, capped at ``retry_backoff_cap``."""
+
+    retry_backoff_cap: int = 1024
+    """Upper bound of the exponential retry backoff."""
+
     def __post_init__(self) -> None:
         if self.cycles <= 0:
             raise ConfigError("cycles must be positive")
@@ -49,6 +73,18 @@ class SimConfig:
             raise ConfigError("warmup must lie inside the run")
         if self.outstanding < 1:
             raise ConfigError("outstanding must be >= 1")
+        if self.txn_timeout_cycles is not None and self.txn_timeout_cycles < 1:
+            raise ConfigError("txn_timeout_cycles must be >= 1 (or None)")
+        if (self.progress_timeout_cycles is not None
+                and self.progress_timeout_cycles < 1):
+            raise ConfigError("progress_timeout_cycles must be >= 1 (or None)")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.retry_backoff_cycles < 1:
+            raise ConfigError("retry_backoff_cycles must be >= 1")
+        if self.retry_backoff_cap < self.retry_backoff_cycles:
+            raise ConfigError(
+                "retry_backoff_cap must be >= retry_backoff_cycles")
 
     @property
     def measured_cycles(self) -> int:

@@ -34,8 +34,12 @@ import math
 from typing import List, Optional, Sequence
 
 from ..axi.master import MasterPort, TrafficSource
-from ..errors import SimulationError
+from ..axi.transaction import STATUS_OK
+from ..errors import ObserverError, SimulationError
 from ..fabric.base import BaseFabric
+from ..faults.inject import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.watchdog import ProgressWatchdog, TransactionWatchdog
 from .config import SimConfig
 from .stats import SimReport, StatsCollector
 
@@ -49,6 +53,7 @@ class Engine:
         sources: Sequence[TrafficSource],
         config: Optional[SimConfig] = None,
         observers: Sequence = (),
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.fabric = fabric
         self.config = config or SimConfig()
@@ -59,12 +64,28 @@ class Engine:
         if len(sources) > platform.num_masters:
             raise SimulationError(
                 f"{len(sources)} sources for {platform.num_masters} masters")
+        cfg = self.config
         self.masters: List[MasterPort] = []
         for src in sources:
             idx = getattr(src, "master", len(self.masters))
             self.masters.append(MasterPort(
-                idx, platform, src, outstanding_limit=self.config.outstanding))
-        self.stats = StatsCollector(platform, self.config.warmup)
+                idx, platform, src, outstanding_limit=cfg.outstanding,
+                max_retries=cfg.max_retries,
+                backoff_base=cfg.retry_backoff_cycles,
+                backoff_cap=cfg.retry_backoff_cap))
+        self.stats = StatsCollector(platform, cfg.warmup)
+        #: Fault schedule bound to this run's fabric, or ``None``.
+        self.faults = faults
+        self.injector = (FaultInjector(faults, fabric)
+                         if faults is not None and faults else None)
+        self._txn_dog = (TransactionWatchdog(cfg.txn_timeout_cycles)
+                         if cfg.txn_timeout_cycles else None)
+        self._progress_dog = (ProgressWatchdog(cfg.progress_timeout_cycles)
+                              if cfg.progress_timeout_cycles else None)
+        if self._txn_dog is not None:
+            hook = self._txn_dog.note_issue
+            for mp in self.masters:
+                mp.on_issue = hook
         self.cycle = 0
         #: Cycles the last :meth:`run` actually stepped (diagnostics; equals
         #: ``config.cycles`` on the legacy path, typically less on the fast
@@ -85,9 +106,48 @@ class Engine:
         completed = sum(mp.completed for mp in masters)
         if completed > issued:
             raise SimulationError("completed more transactions than issued")
-        return self.stats.report(self.config.cycles, issued=issued,
-                                 completed=completed,
-                                 fabric_name=fabric.name)
+        return self.stats.report(
+            self.config.cycles, issued=issued, completed=completed,
+            fabric_name=fabric.name,
+            retries=sum(mp.retries for mp in masters),
+            nacks=sum(mp.nacks for mp in masters),
+            unrecoverable=sum(mp.unrecoverable for mp in masters),
+            dead_pchs=(list(self.injector.dead) if self.injector else []))
+
+    def _process_completions(self, done, cycle: int, by_index) -> None:
+        """Route one cycle's completion batch.
+
+        Two phases: first the accounting (masters, watchdogs, stats) for
+        the whole batch, then the observers — so a raising observer
+        surfaces as a typed :class:`~repro.errors.ObserverError` *after*
+        the conservation-relevant state is consistent, and observers see
+        every attempt (successes, NACKs, poisoned reads) exactly once.
+        """
+        stats = self.stats
+        dog = self._txn_dog
+        for txn, _time in done:
+            mp = by_index[txn.master]
+            if dog is not None:
+                dog.note_done(txn)
+            if txn.status != STATUS_OK:
+                mp.on_nack(txn, cycle)
+            else:
+                mp.on_complete(txn, cycle)
+                stats.record(txn, cycle)
+        pdog = self._progress_dog
+        if pdog is not None:
+            pdog.note_progress(cycle)
+        observers = self.observers
+        if observers:
+            for txn, _time in done:
+                for obs in observers:
+                    try:
+                        obs.on_complete(txn, cycle)
+                    except Exception as exc:
+                        raise ObserverError(
+                            f"observer {type(obs).__name__} raised on "
+                            f"transaction #{txn.uid} at cycle {cycle}: "
+                            f"{exc}") from exc
 
     def _run_legacy(self) -> None:
         """The reference per-cycle loop: every master, every cycle."""
@@ -95,10 +155,14 @@ class Engine:
         masters = self.masters
         by_index = {mp.index: mp for mp in masters}
         stats = self.stats
-        observers = self.observers
         warmup = self.config.warmup
+        injector = self.injector
+        dog = self._txn_dog
+        pdog = self._progress_dog
         for cycle in range(self.config.cycles):
             self.cycle = cycle
+            if injector is not None:
+                injector.fire_due(cycle)
             if cycle == warmup:
                 stats.snapshot_dram(fabric.pchs)
             for mp in masters:
@@ -107,11 +171,11 @@ class Engine:
             done = fabric.completions
             if done:
                 fabric.completions = []
-                for txn, _time in done:
-                    by_index[txn.master].on_complete(txn, cycle)
-                    stats.record(txn, cycle)
-                    for obs in observers:
-                        obs.on_complete(txn, cycle)
+                self._process_completions(done, cycle, by_index)
+            if dog is not None:
+                dog.check(cycle)
+            if pdog is not None and cycle >= pdog.deadline():
+                pdog.check(cycle, sum(mp.outstanding for mp in masters))
         self.stepped_cycles = self.config.cycles
 
     def _run_fast(self) -> None:
@@ -131,9 +195,11 @@ class Engine:
         by_index = {mp.index: mp for mp in masters}
         slot = {mp.index: i for i, mp in enumerate(masters)}
         stats = self.stats
-        observers = self.observers
         warmup = self.config.warmup
         cycles = self.config.cycles
+        injector = self.injector
+        dog = self._txn_dog
+        pdog = self._progress_dog
         wake: List[float] = [0.0] * len(masters)
         snapshotted = False
         stepped = 0
@@ -141,6 +207,8 @@ class Engine:
         while cycle < cycles:
             self.cycle = cycle
             stepped += 1
+            if injector is not None:
+                injector.fire_due(cycle)
             if not snapshotted and cycle >= warmup:
                 stats.snapshot_dram(fabric.pchs)
                 snapshotted = True
@@ -153,14 +221,14 @@ class Engine:
             if done:
                 fabric.completions = []
                 for txn, _time in done:
-                    mp = by_index[txn.master]
-                    mp.on_complete(txn, cycle)
                     i = slot[txn.master]
                     if wake[i] > cycle + 1:
                         wake[i] = cycle + 1
-                    stats.record(txn, cycle)
-                    for obs in observers:
-                        obs.on_complete(txn, cycle)
+                self._process_completions(done, cycle, by_index)
+            if dog is not None:
+                dog.check(cycle)
+            if pdog is not None and cycle >= pdog.deadline():
+                pdog.check(cycle, sum(mp.outstanding for mp in masters))
             nxt = cycle + 1
             horizon = min(wake) if wake else math.inf
             if horizon > nxt:
@@ -172,6 +240,23 @@ class Engine:
                     fabric_next = fabric.next_event(cycle)
                     if fabric_next < target:
                         target = fabric_next
+                # Clamp jumps to the fault and watchdog timeline so the
+                # skipped stretches contain no observable events — the
+                # invariant that keeps fast and legacy runs bit-identical
+                # under fault injection.
+                if target > nxt and injector is not None:
+                    nf = injector.next_fire(cycle)
+                    if nf < target:
+                        target = nf
+                if target > nxt and dog is not None:
+                    d = dog.next_deadline()
+                    if d < target:
+                        target = d
+                if (target > nxt and pdog is not None
+                        and any(mp.outstanding for mp in masters)):
+                    d = pdog.deadline()
+                    if d < target:
+                        target = d
                 if target > nxt:
                     nxt = int(min(target, cycles))
             cycle = nxt
@@ -186,40 +271,65 @@ class Engine:
         self.stepped_cycles = stepped
 
     def drain(self, max_cycles: int = 200_000) -> int:
-        """Run extra cycles (without issuing) until the fabric is quiescent.
+        """Run extra cycles (without fresh issues) until quiescent.
 
         Returns the number of drain cycles used.  Raises
         :class:`~repro.errors.SimulationError` when the fabric does not
-        drain — a deadlock or a lost transaction.  Master
-        ``outstanding_limit`` credits are suspended for the duration of
-        the drain and restored afterwards, so the engine remains usable
-        (e.g. phased workloads that drain between phases).
+        drain — a deadlock or a lost transaction.  Masters are switched
+        into draining mode for the duration: fresh source traffic stops,
+        but queued *retries* still re-issue (they hold work the fabric
+        owes a completion for), so a fault that struck late in the run
+        resolves during the drain instead of leaking transactions.  The
+        transaction watchdog, when enabled, keeps checking — a silently
+        stuck transaction raises a typed
+        :class:`~repro.errors.TransactionTimeout` instead of spinning to
+        the drain deadline.
         """
         fabric = self.fabric
         masters = self.masters
         by_index = {mp.index: mp for mp in masters}
-        saved_limits = [mp.outstanding_limit for mp in masters]
         for mp in masters:
-            mp.outstanding_limit = 0  # stop issuing
+            mp.draining = True
         fast = self.config.fast_path
+        dog = self._txn_dog
         start = self.cycle + 1
         end = start + max_cycles
         try:
             cycle = start
             while cycle < end:
                 self.cycle = cycle
+                for mp in masters:
+                    if mp.retry_pending:
+                        mp.step(cycle, fabric)
                 fabric.step(cycle)
                 done = fabric.completions
                 if done:
                     fabric.completions = []
                     for txn, _t in done:
-                        by_index[txn.master].on_complete(txn, cycle)
+                        mp = by_index[txn.master]
+                        if dog is not None:
+                            dog.note_done(txn)
+                        if txn.status != STATUS_OK:
+                            mp.on_nack(txn, cycle)
+                        else:
+                            mp.on_complete(txn, cycle)
+                if dog is not None:
+                    dog.check(cycle)
                 if fabric.quiescent() and all(
-                        mp.outstanding == 0 for mp in masters):
+                        mp.outstanding == 0 and not mp.retry_pending
+                        for mp in masters):
                     return cycle - start + 1
                 nxt = cycle + 1
                 if fast:
                     fabric_next = fabric.next_event(cycle)
+                    for mp in masters:
+                        r = mp.next_retry()
+                        if r < fabric_next:
+                            fabric_next = r
+                    if dog is not None:
+                        d = dog.next_deadline()
+                        if d < fabric_next:
+                            fabric_next = d
                     if fabric_next > nxt:
                         # Nothing can happen before the horizon; jump.
                         # An infinite horizon with work still in flight
@@ -228,8 +338,8 @@ class Engine:
                         nxt = int(min(fabric_next, end))
                 cycle = nxt
         finally:
-            for mp, limit in zip(masters, saved_limits):
-                mp.outstanding_limit = limit
+            for mp in masters:
+                mp.draining = False
         raise SimulationError(
             f"fabric failed to drain within {max_cycles} cycles "
             f"({sum(mp.outstanding for mp in masters)} transactions stuck)")
@@ -239,6 +349,7 @@ def simulate(
     fabric: BaseFabric,
     sources: Sequence[TrafficSource],
     config: Optional[SimConfig] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SimReport:
     """Convenience one-shot simulation."""
-    return Engine(fabric, sources, config).run()
+    return Engine(fabric, sources, config, faults=faults).run()

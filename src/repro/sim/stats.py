@@ -102,6 +102,14 @@ class SimReport:
     #: count per :data:`HIST_BUCKETS` bucket; empty when unrecorded.
     read_latency_hist: List[int] = field(default_factory=list)
     write_latency_hist: List[int] = field(default_factory=list)
+    #: Resilience accounting (all zero on fault-free runs).
+    retries: int = 0
+    nacks: int = 0
+    ecc_corrected: int = 0
+    ecc_uncorrectable: int = 0
+    unrecoverable: int = 0
+    #: Pseudo-channels offline at the end of the run.
+    dead_pchs: List[int] = field(default_factory=list)
 
     # -- derived -----------------------------------------------------------------
 
@@ -174,6 +182,9 @@ class StatsCollector:
         self.per_master_bytes = [0] * platform.num_masters
         self._dram_baseline: Optional[tuple] = None
         self._dram_final: Optional[tuple] = None
+        #: ECC totals, filled by :meth:`finalize_dram`.
+        self.ecc_corrected = 0
+        self.ecc_uncorrectable = 0
 
     def record(self, txn: AxiTransaction, cycle: int) -> None:
         if cycle < self.warmup:
@@ -211,9 +222,14 @@ class StatsCollector:
     def finalize_dram(self, pchs) -> None:
         """Called by the engine at the end of the run."""
         self._dram_final = self._dram_totals(pchs)
+        # ECC events are whole-run totals (faults are scheduled events,
+        # not steady-state behaviour, so no warmup baseline applies).
+        self.ecc_corrected = sum(p.counters.ecc_corrected for p in pchs)
+        self.ecc_uncorrectable = sum(p.counters.ecc_uncorrectable for p in pchs)
 
     def report(self, cycles: int, *, issued: int, completed: int,
-               fabric_name: str) -> SimReport:
+               fabric_name: str, retries: int = 0, nacks: int = 0,
+               unrecoverable: int = 0, dead_pchs=()) -> SimReport:
         read_bytes, write_bytes = self.read_bytes, self.write_bytes
         if self._dram_baseline is not None and self._dram_final is not None:
             bpb = self.platform.bytes_per_beat
@@ -235,4 +251,10 @@ class StatsCollector:
             fabric_name=fabric_name,
             read_latency_hist=list(self.read_hist),
             write_latency_hist=list(self.write_hist),
+            retries=retries,
+            nacks=nacks,
+            ecc_corrected=self.ecc_corrected,
+            ecc_uncorrectable=self.ecc_uncorrectable,
+            unrecoverable=unrecoverable,
+            dead_pchs=list(dead_pchs),
         )

@@ -23,9 +23,12 @@ import numpy as np
 from ..axi.transaction import AxiTransaction
 from ..params import HbmPlatform, DEFAULT_PLATFORM
 
-#: Trace record fields, in column order.
+#: Trace record fields, in column order.  ``status`` is the completion
+#: status of this attempt (0 ok / 1 nack / 2 poisoned), ``attempt`` the
+#: retry ordinal (0 for the first issue) — a retried transaction appears
+#: once per attempt, distinguishable by (uid, attempt).
 FIELDS = ("uid", "master", "pch", "addr", "is_read", "burst_len", "issue",
-          "accept", "complete", "hops")
+          "accept", "complete", "hops", "status", "attempt")
 
 
 class TraceRecorder:
@@ -48,6 +51,7 @@ class TraceRecorder:
             txn.uid, txn.master, txn.pch, txn.address,
             1 if txn.is_read else 0, txn.burst_len, txn.issue_cycle,
             txn.accept_cycle, txn.complete_cycle, txn.hops,
+            txn.status, txn.retries,
         ))
 
     # -- views ---------------------------------------------------------------------

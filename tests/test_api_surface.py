@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.traffic",
     "repro.accelerators",
     "repro.experiments",
+    "repro.faults",
 ]
 
 MODULES = [
@@ -38,6 +39,10 @@ MODULES = [
     "repro.experiments.extensions",
     "repro.experiments.parallel",
     "repro.experiments.runner",
+    "repro.experiments.chaos",
+    "repro.faults.chaos",
+    "repro.faults.watchdog",
+    "repro.__main__",
 ]
 
 

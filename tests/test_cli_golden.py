@@ -2,8 +2,12 @@
 
 ``repro-hbm estimate`` and ``repro-hbm advise`` are pure functions of
 their arguments (no simulation, no randomness), so their exact output is
-pinned under ``tests/golden/``.  Any intentional change to the estimator,
-the guideline texts, or the output formatting is updated explicitly with
+pinned under ``tests/golden/``.  ``repro-hbm chaos`` does simulate, but
+deterministically — seeded traffic, scheduled fault events, counter-hash
+ECC — so its resilience report is pinned the same way (and doubles as a
+regression net over the whole fault/retry/degradation stack).  Any
+intentional change to the estimator, the guideline texts, or the output
+formatting is updated explicitly with
 
     pytest tests/test_cli_golden.py --update-golden
 
@@ -43,6 +47,10 @@ CASES = {
         "--burst", "1", "--rw", "1:0"],
     "advise_scs_mao_default.txt": [
         "advise", "--pattern", "SCS", "--fabric", "mao"],
+    "chaos_pch_offline.txt": [
+        "chaos", "--scenario", "pch-offline", "--cycles", "2000"],
+    "chaos_pch_offline_strict.txt": [
+        "chaos", "--scenario", "pch-offline-strict", "--cycles", "2000"],
 }
 
 

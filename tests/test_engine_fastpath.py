@@ -16,6 +16,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.fabric import IdealFabric, MaoFabric, SegmentedFabric
+from repro.faults import FaultEvent, FaultKind, FaultPlan
 from repro.sim import Engine, SimConfig
 from repro.traffic import make_pattern_sources
 from repro.types import Pattern, RWRatio, READ_ONLY, TWO_TO_ONE
@@ -48,15 +49,44 @@ GRID = [
 ]
 
 
+#: Fault configurations for the differential grid: injection, watchdog
+#: deadlines, NACK/retry/backoff, and degradation remapping must all land
+#: on the same cycles under both loops for the reports to stay equal.
+FAULT_PLANS = {
+    "offline-degrade": FaultPlan(
+        [FaultEvent(FaultKind.PCH_OFFLINE, at=450, pch=2)], degrade=True),
+    "slow-corrupt": FaultPlan(
+        [FaultEvent(FaultKind.PCH_SLOW, at=350, pch=1, duration=400,
+                    factor=3.0),
+         FaultEvent(FaultKind.DATA_CORRUPT, at=500, duration=400,
+                    rate=0.05)],
+        seed=7, dbit_fraction=0.3),
+    "stall-offline": FaultPlan(
+        [FaultEvent(FaultKind.LINK_STALL, at=300, duration=200),
+         FaultEvent(FaultKind.PCH_OFFLINE, at=700, pch=5)], degrade=True),
+}
+
+FAULT_GRID = [
+    ("xlnx", "offline-degrade"),
+    ("xlnx", "slow-corrupt"),
+    ("xlnx", "stall-offline"),
+    ("mao", "offline-degrade"),
+    ("mao", "slow-corrupt"),
+    ("mao", "stall-offline"),
+    ("ideal", "offline-degrade"),
+    ("ideal", "slow-corrupt"),
+]
+
+
 def _run(small_platform, fabric_key, pattern, rw, outstanding, fast,
-         cycles=1200, warmup=300):
+         cycles=1200, warmup=300, faults=None, **cfg_kw):
     fabric = FABRICS[fabric_key](small_platform)
     sources = make_pattern_sources(
         pattern, small_platform, burst_len=8, rw=rw,
         address_map=fabric.address_map)
     cfg = SimConfig(cycles=cycles, warmup=warmup, outstanding=outstanding,
-                    fast_path=fast)
-    engine = Engine(fabric, sources, cfg)
+                    fast_path=fast, **cfg_kw)
+    engine = Engine(fabric, sources, cfg, faults=faults)
     return engine, engine.run()
 
 
@@ -71,6 +101,27 @@ def test_fast_path_bit_identical(small_platform, fabric_key, pattern, rw,
     # Dataclass equality covers every field, including the float Welford
     # moments and the latency histograms.
     assert fast == legacy
+
+
+@pytest.mark.parametrize("fabric_key,plan_key", FAULT_GRID,
+                         ids=[f"{f}-{p}" for f, p in FAULT_GRID])
+def test_fast_path_bit_identical_under_faults(small_platform, fabric_key,
+                                              plan_key):
+    """Fault injection must not break the bit-identity claim: clock jumps
+    clamp to fault-event cycles, watchdog deadlines, and retry due times,
+    so both loops observe the same failure and recovery schedule."""
+    plan = FAULT_PLANS[plan_key]
+    kw = dict(faults=plan, txn_timeout_cycles=4000,
+              progress_timeout_cycles=4000)
+    _, fast = _run(small_platform, fabric_key, Pattern.SCS, TWO_TO_ONE, 16,
+                   True, **kw)
+    _, legacy = _run(small_platform, fabric_key, Pattern.SCS, TWO_TO_ONE, 16,
+                     False, **kw)
+    assert fast == legacy
+    # The scenario must actually have exercised the fault machinery.
+    if plan.offline_pchs:
+        assert fast.dead_pchs == plan.offline_pchs
+        assert fast.nacks > 0
 
 
 def test_fast_path_actually_skips_cycles(small_platform):

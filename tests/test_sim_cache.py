@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.params import DEFAULT_PLATFORM, HbmPlatform
-from repro.sim.cache import SimCache, cache_enabled, sweep_key
+from repro.sim.cache import MODEL_VERSION, SimCache, cache_enabled, sweep_key
 from repro.types import FabricKind, Pattern, TWO_TO_ONE, READ_ONLY
 
 
@@ -59,7 +61,43 @@ def test_disk_cache_ignores_corrupt_files(tmp_path):
     for f in tmp_path.glob("*.pkl"):
         f.write_bytes(b"not a pickle")
     fresh = SimCache(directory=str(tmp_path))
-    assert fresh.get(key) is None  # degraded to a miss, no exception
+    with pytest.warns(RuntimeWarning, match="discarding unreadable"):
+        assert fresh.get(key) is None  # degraded to a miss, no exception
+    # The bad file was deleted so it never costs another parse ...
+    assert not list(tmp_path.glob("*.pkl"))
+    # ... and the next lookup is an ordinary silent miss.
+    assert fresh.get(key) is None
+
+
+def test_disk_cache_ignores_truncated_files(tmp_path):
+    key = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    c = SimCache(directory=str(tmp_path))
+    c.put(key, {"gbps": 400.0})
+    for f in tmp_path.glob("*.pkl"):
+        f.write_bytes(f.read_bytes()[:10])  # cut mid-pickle
+    fresh = SimCache(directory=str(tmp_path))
+    with pytest.warns(RuntimeWarning, match="discarding unreadable"):
+        assert fresh.get(key) is None
+    assert not list(tmp_path.glob("*.pkl"))
+
+
+def test_disk_cache_version_mismatch_is_silent_miss(tmp_path):
+    """A key recorded under another MODEL_VERSION is well-formed, just
+    stale: it must miss without warning and stay on disk for that older
+    version to keep using."""
+    import pickle
+
+    import repro.sim.cache as cache_mod
+
+    key = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    old_key = (MODEL_VERSION - 1,) + key[1:]
+    c = SimCache(directory=str(tmp_path))
+    # Simulate the older writer: same filename derivation, old key inside.
+    path = tmp_path / (cache_mod.hashlib.sha1(
+        repr(key).encode()).hexdigest() + ".pkl")
+    path.write_bytes(pickle.dumps((old_key, 99)))
+    assert c.get(key) is None
+    assert path.exists()
 
 
 def test_cache_disabled_by_env(monkeypatch):

@@ -6,6 +6,7 @@ import pytest
 from repro import make_fabric
 from repro.params import HbmPlatform
 from repro.sim import Engine, SimConfig, TraceRecorder
+from repro.sim.trace import FIELDS
 from repro.traffic import make_pattern_sources
 from repro.types import FabricKind, Pattern
 
@@ -28,7 +29,7 @@ class TestTraceRecorder:
         rec = _run()
         assert len(rec) > 100
         arr = rec.as_array()
-        assert arr.shape[1] == 10
+        assert arr.shape[1] == len(FIELDS) == 12
 
     def test_columns_consistent(self):
         rec = _run()
@@ -65,9 +66,14 @@ class TestTraceRecorder:
         assert len(rec) == 50
         assert rec.dropped > 0
 
+    def test_fault_free_run_has_clean_status(self):
+        rec = _run()
+        assert (rec.column("status") == 0).all()
+        assert (rec.column("attempt") == 0).all()
+
     def test_empty_trace(self):
         rec = TraceRecorder(SMALL)
-        assert rec.as_array().shape == (0, 10)
+        assert rec.as_array().shape == (0, 12)
         assert rec.latency_percentiles() == {50: 0.0, 90: 0.0, 99: 0.0}
         assert rec.hop_latency_correlation() == 0.0
 

@@ -74,6 +74,28 @@ def test_step6_fit():
     XCVU37P.require_fits(core + mao, what="SpMV + MAO")
 
 
+def test_step8_chaos():
+    from repro import make_fabric
+    from repro.faults import FaultEvent, FaultKind, FaultPlan
+    from repro.sim import Engine, SimConfig
+    from repro.traffic import make_pattern_sources
+    from repro.types import FabricKind, Pattern
+    fabric = make_fabric(FabricKind.MAO)
+    sources = make_pattern_sources(Pattern.SCS,
+                                   address_map=fabric.address_map)
+    plan = FaultPlan([FaultEvent(FaultKind.PCH_OFFLINE, at=800, pch=2)],
+                     degrade=True)
+    cfg = SimConfig(cycles=2000, warmup=400,
+                    txn_timeout_cycles=12_000,
+                    progress_timeout_cycles=12_000)
+    engine = Engine(fabric, sources, cfg, faults=plan)
+    report = engine.run()
+    engine.drain()
+    assert report.dead_pchs == [2]
+    assert report.retries > 0
+    assert report.unrecoverable == 0
+
+
 def test_appendix_spmv():
     from repro import make_fabric
     from repro.accelerators import make_spmv_sources
