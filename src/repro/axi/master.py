@@ -18,10 +18,13 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, List, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, Tuple
 
 from ..axi.transaction import AxiTransaction, STATUS_OK
 from ..params import HbmPlatform
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fabric.base import BaseFabric
 
 
 class TrafficSource(Protocol):
@@ -89,7 +92,7 @@ class MasterPort:
 
     # -- simulation ----------------------------------------------------------
 
-    def step(self, cycle: int, fabric) -> None:
+    def step(self, cycle: int, fabric: "BaseFabric") -> None:
         """Issue as many transactions as credits and pacing allow.
 
         Due retries go first — they are older traffic and re-use the

@@ -1,0 +1,448 @@
+"""Static analysis of simulation configs, topologies, and fault plans.
+
+Everything here runs *without simulating*: the analyzer inspects a
+:class:`~repro.sim.config.SimConfig`, a constructed fabric (its address
+map, credit sizing, and resource wait-graph), and any
+:class:`~repro.faults.plan.FaultPlan` — and reports
+:class:`~repro.check.findings.Finding` records.  The CLI front end is
+``repro-hbm check <experiment ...>`` (or ``--all``); the experiment
+runner calls :func:`quick_check` before every simulation so registry
+experiments are pre-validated.
+
+The four analyses:
+
+* **Address-map bijection** (:func:`check_address_map`) — samples the
+  global↔(pch, local) mapping at channel boundaries, interleave-
+  granularity edges, and a deterministic LCG probe set, verifying the
+  round trip and range invariants.  A non-bijective map silently
+  aliases traffic onto too few channels — the classic source of
+  plausible-but-wrong bandwidth numbers.
+* **Credit sizing** (:func:`check_credits`) — flags configurations that
+  wedge or starve under the configured burst/outstanding limits, e.g. a
+  MAO reorder depth whose read slots (``depth * READS_PER_LANE``) cannot
+  cover the outstanding credit.
+* **Deadlock-capable cycles** (:func:`build_wait_graph` /
+  :class:`WaitGraph`) — builds the holds-while-waiting graph of the
+  fabric's bounded resources and reports strongly connected components
+  that contain no always-draining node.  The segmented fabric's shared
+  request/response lateral buses form the textbook cycle; the model
+  drains it by metering the bus (reported as info), but the same graph
+  immediately exposes a topology where the drain is removed.
+* **Fault-plan liveness** (:func:`check_fault_plan`) — events that can
+  never fire (scheduled past the horizon, duplicate offline targets),
+  out-of-range targets, and degradation plans with no survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConfigError, ReproError
+from ..params import HbmPlatform, DEFAULT_PLATFORM
+from ..sim.config import SimConfig
+from .findings import Finding
+
+#: Deterministic LCG (splitmix-style constants) for address probes.
+_LCG_MUL = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_NUM_PROBES = 256
+
+
+# -- address-map bijection ----------------------------------------------------
+
+
+def _probe_addresses(platform: HbmPlatform, granularity: int) -> List[int]:
+    cap = platform.total_capacity
+    probes: Set[int] = set()
+    for p in range(platform.num_pch):
+        base = p * platform.pch_capacity
+        for off in (0, 32, platform.pch_capacity - 32):
+            probes.add(base + off)
+    for edge in range(0, min(cap, 16 * granularity), granularity):
+        probes.add(edge)
+        if edge >= 32:
+            probes.add(edge - 32)
+    x = 0x9E3779B97F4A7C15
+    for _ in range(_NUM_PROBES):
+        x = (x * _LCG_MUL + _LCG_INC) % (1 << 64)
+        probes.add((x % cap) // 32 * 32)
+    return sorted(a for a in probes if 0 <= a < cap)
+
+
+def check_address_map(address_map, platform: HbmPlatform,
+                      location: str = "") -> List[Finding]:
+    """Sample the map for bijectivity and range violations."""
+    findings: List[Finding] = []
+    granularity = getattr(address_map, "granularity", platform.pch_capacity)
+    seen: Dict[Tuple[int, int], int] = {}
+    for addr in _probe_addresses(platform, granularity):
+        try:
+            pch = address_map.pch_of(addr)
+            local = address_map.local_of(addr)
+            back = address_map.global_of(pch, local)
+        except ReproError as exc:
+            findings.append(Finding(
+                "error", "ADDR_BIJECTION",
+                f"map raised on in-range address {addr:#x}: {exc}", location))
+            continue
+        if not 0 <= pch < platform.num_pch:
+            findings.append(Finding(
+                "error", "ADDR_BIJECTION",
+                f"address {addr:#x} maps to out-of-range pch {pch}",
+                location))
+        elif not 0 <= local < platform.pch_capacity:
+            findings.append(Finding(
+                "error", "ADDR_BIJECTION",
+                f"address {addr:#x} maps to out-of-range local {local:#x}",
+                location))
+        elif back != addr:
+            findings.append(Finding(
+                "error", "ADDR_BIJECTION",
+                f"round trip {addr:#x} -> (pch {pch}, {local:#x}) -> "
+                f"{back:#x} is not the identity", location))
+        else:
+            prev = seen.get((pch, local))
+            if prev is not None and prev != addr:
+                findings.append(Finding(
+                    "error", "ADDR_BIJECTION",
+                    f"(pch {pch}, {local:#x}) aliases both {prev:#x} and "
+                    f"{addr:#x}", location))
+            seen[(pch, local)] = addr
+        if len(findings) >= 5:
+            findings.append(Finding(
+                "info", "ADDR_BIJECTION",
+                "further bijection probes suppressed", location))
+            break
+    return findings
+
+
+# -- credit / timeout sizing --------------------------------------------------
+
+
+def check_credits(fabric, cfg: SimConfig, location: str = "") -> List[Finding]:
+    """Credit sizing that can wedge or starve under ``cfg``."""
+    findings: List[Finding] = []
+    platform = fabric.platform
+    reorder = getattr(fabric, "reorder", None)
+    if reorder is not None:
+        from ..fabric.mao_fabric import READS_PER_LANE
+        depth = fabric.config.reorder_depth
+        slots = max(1, depth) * READS_PER_LANE
+        if slots < cfg.outstanding:
+            findings.append(Finding(
+                "warning", "CREDIT_STARVE",
+                f"reorder depth {depth} offers {slots} read slots "
+                f"({READS_PER_LANE}/lane) but outstanding={cfg.outstanding}: "
+                f"read issue saturates below the configured credit",
+                location))
+        if depth < cfg.outstanding:
+            findings.append(Finding(
+                "info", "ORDERING_RELAXED",
+                f"reorder depth {depth} < outstanding {cfg.outstanding}: "
+                f"same-lane reads may be concurrently in flight, so the "
+                f"analytical release rule does not guarantee same-ID issue "
+                f"order (the sanitizer counts, not raises, there)",
+                location))
+    sched = fabric.sched
+    per_mc_sources = max(1, platform.num_masters // max(1, len(fabric.mcs)))
+    demand = cfg.outstanding * per_mc_sources
+    capacity = (sched.queue_capacity
+                + sched.request_fifo_capacity * platform.pch_per_mc)
+    if capacity < min(demand, cfg.outstanding):
+        findings.append(Finding(
+            "warning", "CREDIT_WEDGE",
+            f"controller buffering ({capacity} requests) below a single "
+            f"master's outstanding credit ({cfg.outstanding}): sustained "
+            f"ingress backpressure will serialize issue", location))
+    return findings
+
+
+def check_config(cfg: SimConfig, platform: HbmPlatform = DEFAULT_PLATFORM,
+                 location: str = "") -> List[Finding]:
+    """Cross-field timeout/retry sizing checks beyond hard validation."""
+    findings: List[Finding] = []
+    if cfg.txn_timeout_cycles is not None:
+        # Hard validation already rejects cap >= timeout; warn when the
+        # remaining window cannot absorb a single worst-case backoff plus
+        # a round trip.
+        if cfg.txn_timeout_cycles < 2 * cfg.retry_backoff_cap:
+            findings.append(Finding(
+                "warning", "TIMEOUT_LADDER",
+                f"txn_timeout_cycles={cfg.txn_timeout_cycles} leaves less "
+                f"than one retry round trip above the backoff cap "
+                f"({cfg.retry_backoff_cap}): late retries will be reported "
+                f"as timeouts", location))
+    if cfg.progress_timeout_cycles is not None:
+        t_rfc = platform.dram.t_rfc
+        if cfg.progress_timeout_cycles <= t_rfc:
+            findings.append(Finding(
+                "warning", "WATCHDOG_REFRESH",
+                f"progress_timeout_cycles={cfg.progress_timeout_cycles} is "
+                f"within one refresh stall (t_rfc={t_rfc}): a healthy "
+                f"refresh can trip the deadlock watchdog", location))
+    return findings
+
+
+# -- wait-graph / deadlock analysis -------------------------------------------
+
+
+class WaitGraph:
+    """Holds-while-waiting graph over bounded fabric resources.
+
+    An edge ``a -> b`` means a transaction can occupy resource ``a``
+    while waiting for space in ``b``.  A cycle of bounded resources is
+    *deadlock-capable* unless at least one node on it always drains
+    (a rate meter or an unconditional sink).
+    """
+
+    def __init__(self) -> None:
+        self.edges: Dict[str, Set[str]] = {}
+        self.drains: Set[str] = set()
+
+    def add_edge(self, src: str, dst: str) -> None:
+        self.edges.setdefault(src, set()).add(dst)
+        self.edges.setdefault(dst, set())
+
+    def mark_drains(self, node: str) -> None:
+        """Mark ``node`` as always-draining (meter/sink semantics)."""
+        self.edges.setdefault(node, set())
+        self.drains.add(node)
+
+    def cycles(self) -> List[List[str]]:
+        """Strongly connected components that contain a cycle (sorted)."""
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = [0]
+
+        def strongconnect(v: str) -> None:
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in sorted(self.edges.get(v, ())):
+                if w not in index:
+                    strongconnect(w)
+                    low[v] = min(low[v], low[w])
+                elif w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if low[v] == index[v]:
+                comp: List[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                if len(comp) > 1 or v in self.edges.get(v, ()):
+                    sccs.append(sorted(comp))
+
+        for v in sorted(self.edges):
+            if v not in index:
+                strongconnect(v)
+        return sorted(sccs)
+
+    def deadlock_cycles(self) -> List[List[str]]:
+        """Cycles with no always-draining node: genuinely deadlock-capable."""
+        return [c for c in self.cycles()
+                if not any(n in self.drains for n in c)]
+
+
+def build_wait_graph(fabric) -> WaitGraph:
+    """Construct the wait graph of a fabric model's bounded resources."""
+    g = WaitGraph()
+    platform = fabric.platform
+    name = getattr(fabric, "name", "fabric")
+    if name == "xlnx":
+        # Chain: switch request port -> lateral buses -> MC queue -> PCH
+        # -> lateral buses (the *same* physical buses) -> master egress.
+        buses = platform.lateral_buses
+        for s in range(platform.num_switches):
+            for parity in range(buses):
+                bus = f"bus{s % max(1, platform.num_switches - 1)}p{parity}"
+                g.add_edge(f"sw{s}.req", bus)
+                g.add_edge(bus, f"mc{s * platform.mcs_per_switch}")
+                g.add_edge(f"pch{s * platform.pch_per_mc}", bus)
+                # The model meters each shared bus (SharedBus): it always
+                # accepts and drains by rate, cutting the req/resp cycle.
+                g.mark_drains(bus)
+            mc = f"mc{s * platform.mcs_per_switch}"
+            pch = f"pch{s * platform.pch_per_mc}"
+            g.add_edge(mc, pch)
+            g.add_edge(pch, f"sw{s}.resp")
+            g.mark_drains(f"sw{s}.resp")  # master egress: unconditional sink
+    elif name == "mao":
+        # Hierarchical network: per-PCH accept meters and per-master
+        # egress meters, plus reorder lanes between PCH and master.
+        for p in range(platform.num_pch):
+            g.add_edge(f"accept{p}", f"mc{p // platform.pch_per_mc}")
+            g.add_edge(f"mc{p // platform.pch_per_mc}", f"pch{p}")
+            g.mark_drains(f"accept{p}")
+        for m in range(platform.num_masters):
+            g.add_edge(f"pch{m % platform.num_pch}", f"lane{m}")
+            g.add_edge(f"lane{m}", f"egress{m}")
+            g.mark_drains(f"egress{m}")
+            g.mark_drains(f"lane{m}")  # release rule is pure timing
+    else:
+        for p in range(platform.num_pch):
+            g.add_edge(f"mc{p // platform.pch_per_mc}", f"pch{p}")
+            g.add_edge(f"pch{p}", "egress")
+        g.mark_drains("egress")
+    return g
+
+
+def check_topology(fabric, location: str = "") -> List[Finding]:
+    """Deadlock analysis of the fabric's wait graph."""
+    findings: List[Finding] = []
+    g = build_wait_graph(fabric)
+    dead = g.deadlock_cycles()
+    for cyc in dead:
+        findings.append(Finding(
+            "error", "DEADLOCK_CYCLE",
+            f"deadlock-capable resource cycle: {' -> '.join(cyc)}",
+            location))
+    if not dead:
+        cycles = g.cycles()
+        for cyc in cycles:
+            drained = sorted(n for n in cyc if n in g.drains)
+            findings.append(Finding(
+                "info", "DRAINED_CYCLE",
+                f"resource cycle {' -> '.join(cyc)} is cut by draining "
+                f"node(s) {', '.join(drained)}", location))
+    return findings
+
+
+# -- fault-plan liveness ------------------------------------------------------
+
+
+def check_fault_plan(plan, cycles: int,
+                     platform: HbmPlatform = DEFAULT_PLATFORM,
+                     location: str = "") -> List[Finding]:
+    """Events that cannot fire or target nonexistent resources."""
+    from ..faults.plan import FaultKind
+    findings: List[Finding] = []
+    offline_seen: Set[int] = set()
+    for i, ev in enumerate(plan.events):
+        where = f"{location}#event{i}" if location else f"event{i}"
+        if ev.at >= cycles:
+            findings.append(Finding(
+                "warning", "FAULT_NEVER_FIRES",
+                f"{ev.kind.value} scheduled at cycle {ev.at}, past the "
+                f"{cycles}-cycle horizon", where))
+        if ev.pch is not None and not 0 <= ev.pch < platform.num_pch:
+            findings.append(Finding(
+                "error", "FAULT_TARGET_RANGE",
+                f"{ev.kind.value} targets pch {ev.pch}, device has "
+                f"{platform.num_pch}", where))
+        if (ev.kind is FaultKind.LINK_STALL and ev.cut is not None
+                and not 0 <= ev.cut < platform.num_switches - 1):
+            findings.append(Finding(
+                "error", "FAULT_TARGET_RANGE",
+                f"link-stall targets cut {ev.cut}, topology has "
+                f"{platform.num_switches - 1}", where))
+        if ev.kind is FaultKind.PCH_OFFLINE and ev.pch is not None:
+            if ev.pch in offline_seen:
+                findings.append(Finding(
+                    "warning", "FAULT_NEVER_FIRES",
+                    f"pch {ev.pch} taken offline twice; the second event "
+                    f"is a no-op", where))
+            offline_seen.add(ev.pch)
+    if plan.degrade and len(offline_seen) >= platform.num_pch:
+        findings.append(Finding(
+            "error", "FAULT_NO_SURVIVORS",
+            "degradation plan takes every pseudo-channel offline: no "
+            "survivor to remap onto", location))
+    return findings
+
+
+# -- experiment pre-validation ------------------------------------------------
+
+
+def check_fabric_kind(kind, cfg: SimConfig,
+                      platform: HbmPlatform = DEFAULT_PLATFORM,
+                      location: str = "") -> List[Finding]:
+    """Full static pass over one fabric kind under ``cfg``."""
+    from .. import make_fabric
+    findings: List[Finding] = []
+    try:
+        fabric = make_fabric(kind, platform)
+    except ConfigError as exc:
+        return [Finding("error", "CONFIG", str(exc), location)]
+    findings.extend(check_address_map(fabric.address_map, platform, location))
+    findings.extend(check_credits(fabric, cfg, location))
+    findings.extend(check_topology(fabric, location))
+    findings.extend(check_config(cfg, platform, location))
+    return findings
+
+
+def check_experiment(key: str, cycles: Optional[int] = None) -> List[Finding]:
+    """Pre-validate one registry experiment without running it."""
+    from ..types import FabricKind
+    from ..experiments.registry import get_experiment
+    spec = get_experiment(key)
+    if not spec.uses_simulation:
+        return [Finding("info", "NO_SIM",
+                        "analytical experiment; no simulation to validate",
+                        key)]
+    findings: List[Finding] = []
+    if key == "chaos":
+        from ..faults.chaos import SCENARIOS
+        horizon = cycles or 6000
+        for name in sorted(SCENARIOS):
+            plan = SCENARIOS[name].build(horizon, 0)
+            findings.extend(check_fault_plan(
+                plan, horizon, DEFAULT_PLATFORM, f"{key}:{name}"))
+        return findings
+    from ..experiments._common import DEFAULT_CYCLES
+    horizon = cycles or DEFAULT_CYCLES
+    cfg = SimConfig(cycles=horizon, warmup=min(horizon // 4, 3_000))
+    for kind in sorted(FabricKind, key=lambda k: k.value):
+        findings.extend(check_fabric_kind(
+            kind, cfg, DEFAULT_PLATFORM, f"{key}:{kind.value}"))
+    return findings
+
+
+def check_all(cycles: Optional[int] = None) -> Dict[str, List[Finding]]:
+    """Pre-validate every registry experiment (CLI ``check --all``)."""
+    from ..experiments.registry import EXPERIMENTS
+    return {key: check_experiment(key, cycles) for key in sorted(EXPERIMENTS)}
+
+
+def quick_check(fabric, cfg: SimConfig) -> None:
+    """O(1) pre-flight used by the experiment runner before simulating.
+
+    Raises :class:`~repro.errors.ConfigError` on error-severity findings;
+    warnings are intentionally silent here (sweeps legitimately explore
+    starved configurations, e.g. the Fig. 6 reorder sweep).
+    """
+    errors = [f for f in (check_credits(fabric, cfg)
+                          + check_config(cfg, fabric.platform))
+              if f.severity == "error"]
+    if errors:
+        raise ConfigError("; ".join(f.message for f in errors))
+
+
+def render_experiment_report(
+    results: Dict[str, List[Finding]],
+) -> Tuple[str, bool]:
+    """Render ``check_all``-style results; returns (text, ok)."""
+    from .findings import render
+    lines: List[str] = []
+    total_err = total_warn = 0
+    for key in sorted(results):
+        findings = results[key]
+        errs = sum(1 for f in findings if f.severity == "error")
+        warns = sum(1 for f in findings if f.severity == "warning")
+        total_err += errs
+        total_warn += warns
+        status = "FAIL" if errs else "ok"
+        lines.append(f"{key:<12} {status}  ({errs} errors, {warns} warnings)")
+        shown = [f for f in findings if f.severity != "info"]
+        if shown:
+            lines.append("\n".join("  " + ln
+                                   for ln in render(shown).splitlines()))
+    lines.append(f"{len(results)} experiment(s) checked: "
+                 f"{total_err} errors, {total_warn} warnings")
+    return "\n".join(lines), total_err == 0

@@ -13,7 +13,14 @@ Hierarchy::
     ├── AddressError           address outside capacity / misaligned
     ├── RoutingError           interconnect cannot route a transaction
     ├── SimulationError        internal simulator invariant violated (a bug)
-    │   └── ObserverError      an observer hook raised during completion
+    │   ├── ObserverError      an observer hook raised during completion
+    │   └── SanitizerError     runtime sanitizer caught an invariant break
+    │       ├── OrderingViolation        same-ID responses out of issue order
+    │       ├── ConservationViolation    issued/completed accounting broken
+    │       ├── CreditLeak               credit or reorder-slot leak
+    │       ├── TimestampViolation       non-monotonic transaction timestamps
+    │       ├── BankStateViolation       column access to a closed/wrong row
+    │       └── RetryConsistencyViolation  retry/watchdog bookkeeping broken
     ├── ResourceError          design exceeds FPGA resource capacity
     └── FaultError             *modelled* hardware misbehaving (repro.faults)
         ├── TransactionTimeout a watched transaction exceeded its deadline
@@ -75,6 +82,61 @@ class ObserverError(SimulationError):
     simulation's own bookkeeping.  The original exception is attached as
     ``__cause__``.
     """
+
+
+class SanitizerError(SimulationError):
+    """The runtime sanitizer (:mod:`repro.check.sanitizer`) caught an
+    invariant violation.
+
+    Every subclass carries a ``context`` dict with the minimal repro
+    recipe — fabric name, the :class:`~repro.sim.config.SimConfig`, the
+    fault plan (if any), the cycle, and the offending transaction — so a
+    failure in a long sweep can be reproduced as a single run.  The
+    engine's observer isolation deliberately does *not* wrap these in
+    :class:`ObserverError`: a sanitizer finding is a simulator bug, not
+    an observer crash.
+    """
+
+    def __init__(self, message: str, context: dict | None = None) -> None:
+        self.context = dict(context or {})
+        if self.context:
+            detail = "; ".join(f"{k}={v}" for k, v in self.context.items())
+            message = f"{message} [{detail}]"
+        super().__init__(message)
+
+
+class OrderingViolation(SanitizerError):
+    """Same-AXI-ID read responses were delivered out of issue order on a
+    fabric/configuration that guarantees in-order same-ID delivery."""
+
+
+class ConservationViolation(SanitizerError):
+    """Transaction conservation broke: a completion arrived for a
+    transaction that was never issued (or already finished), or the
+    issued/completed/retired/in-flight ledger does not balance."""
+
+
+class CreditLeak(SanitizerError):
+    """Outstanding-transaction credits or reorder-buffer read slots
+    leaked (went negative, exceeded their bound, or remained claimed
+    after a successful drain)."""
+
+
+class TimestampViolation(SanitizerError):
+    """Transaction timestamps are non-monotonic (completion before
+    issue, or delivery cycles moving backwards)."""
+
+
+class BankStateViolation(SanitizerError):
+    """The DRAM bank model performed an illegal row operation — a column
+    access claimed a row hit on a closed or different row, or an
+    activate violated the bank's earliest-activate bound."""
+
+
+class RetryConsistencyViolation(SanitizerError):
+    """Retry/watchdog bookkeeping is inconsistent — a completion's
+    attempt ordinal does not match its issue, or a NACKed transaction
+    was neither retried nor counted unrecoverable."""
 
 
 class ResourceError(ReproError):

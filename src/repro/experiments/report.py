@@ -38,9 +38,9 @@ def generate_report(
         kwargs = {}
         if cycles is not None and spec.uses_simulation:
             kwargs["cycles"] = cycles
-        start = time.perf_counter()
+        start = time.perf_counter()  # det-lint: allow (display only)
         table = spec.execute(**kwargs)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # det-lint: allow
         parts.append(f"## {key} — {spec.title}\n")
         parts.append(f"```text\n{table}\n```\n")
         ref = spec.paper_reference

@@ -8,6 +8,8 @@ Usage::
     repro-hbm estimate --pattern CCS --fabric mao --rw 2:1 --burst 16
     repro-hbm advise --pattern CCRA --fabric xlnx --outstanding 4
     repro-hbm chaos --scenario pch-offline [--fabric xlnx] [--seed 0]
+    repro-hbm check --all          # statically validate every experiment
+    repro-hbm check fig6 --lint    # one experiment + determinism lint
 """
 
 from __future__ import annotations
@@ -80,6 +82,40 @@ def _cmd_chaos(args) -> str:
     return format_report(results)
 
 
+def _cmd_check(args) -> tuple:
+    """Static analyzer / lint front end; returns (text, exit code)."""
+    from ..check import lint as lint_mod
+    from ..check import static as static_mod
+    from ..check.findings import render
+    chunks: List[str] = []
+    ok = True
+    if args.keys or args.all:
+        keys = sorted(EXPERIMENTS) if args.all else args.keys
+        results = {k: static_mod.check_experiment(k, args.cycles)
+                   for k in keys}
+        text, exp_ok = static_mod.render_experiment_report(results)
+        chunks.append(text)
+        ok = ok and exp_ok
+    elif not args.lint:
+        # Ad-hoc config check: one fabric kind under the given knobs.
+        from ..sim import SimConfig
+        cfg = SimConfig(cycles=args.cycles or 12_000,
+                        outstanding=args.outstanding)
+        findings = static_mod.check_fabric_kind(
+            FabricKind(args.fabric), cfg, location=args.fabric)
+        chunks.append(render(findings) if findings
+                      else f"{args.fabric}: no findings")
+        ok = ok and not any(f.severity == "error" for f in findings)
+    if args.lint:
+        root = lint_mod.default_src_root()
+        findings = lint_mod.lint_tree(root)
+        if findings:
+            chunks.append(render(findings))
+            ok = False
+        chunks.append(f"determinism lint: {len(findings)} finding(s)")
+    return "\n".join(chunks), 0 if ok else 1
+
+
 def _cmd_list() -> str:
     lines = ["available experiments:"]
     for key in sorted(EXPERIMENTS):
@@ -89,15 +125,27 @@ def _cmd_list() -> str:
 
 
 def _cmd_run(keys: List[str], cycles: Optional[int]) -> str:
+    # Pre-validate before spending simulation time: an error-severity
+    # static finding (broken address map, impossible fault plan) aborts
+    # the whole run-set up front.
+    from ..check import static as static_mod
+    from ..check.findings import render
+    from ..errors import ConfigError
+    errors = [f for key in keys
+              for f in static_mod.check_experiment(key, cycles)
+              if f.severity == "error"]
+    if errors:
+        raise ConfigError(
+            "static pre-validation failed:\n" + render(errors))
     chunks = []
     for key in keys:
         spec = get_experiment(key)
         kwargs = {}
         if cycles is not None and spec.uses_simulation:
             kwargs["cycles"] = cycles
-        start = time.perf_counter()
+        start = time.perf_counter()  # det-lint: allow (display only)
         table = spec.execute(**kwargs)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # det-lint: allow
         chunks.append(f"=== {key}: {spec.title} ({elapsed:.1f}s) ===\n{table}")
     return "\n\n".join(chunks)
 
@@ -114,6 +162,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     sim_opts.add_argument("--legacy-engine", action="store_true",
                           help="use the reference cycle loop instead of the "
                                "fast path (bit-identical results, slower)")
+    sim_opts.add_argument("--sanitize", action="store_true",
+                          help="attach the runtime invariant sanitizer to "
+                               "every simulation (bit-identical results, "
+                               "slower; see repro.check)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
     p_run = sub.add_parser("run", help="run selected experiments",
@@ -149,6 +201,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chaos.add_argument("--seed", type=int, default=0,
                          help="traffic and fault-plan seed")
     p_chaos.add_argument("--out", type=str, default=None)
+    p_check = sub.add_parser(
+        "check", help="static config/topology analyzer and determinism lint")
+    p_check.add_argument("keys", nargs="*", metavar="KEY",
+                         choices=[[]] + sorted(EXPERIMENTS),
+                         help="experiments to validate statically")
+    p_check.add_argument("--all", action="store_true",
+                         help="validate every registry experiment")
+    p_check.add_argument("--lint", action="store_true",
+                         help="run the determinism lint over the sources")
+    p_check.add_argument("--cycles", type=int, default=None,
+                         help="horizon used for fault-plan liveness checks")
+    p_check.add_argument("--fabric", choices=[f.value for f in FabricKind],
+                         default="xlnx",
+                         help="fabric kind for an ad-hoc config check "
+                              "(when no experiment keys are given)")
+    p_check.add_argument("--outstanding", type=int, default=32)
     for name, helptext in (("estimate", "analytical bandwidth estimate"),
                            ("advise", "check a design against the guidelines")):
         p = sub.add_parser(name, help=helptext)
@@ -166,6 +234,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_SIM_CACHE"] = "0"
     if getattr(args, "legacy_engine", False):
         os.environ["REPRO_FAST_PATH"] = "0"
+    if getattr(args, "sanitize", False):
+        os.environ["REPRO_SANITIZE"] = "1"
+    if args.command == "check":
+        text, rc = _cmd_check(args)
+        print(text)
+        return rc
     if args.command == "list":
         print(_cmd_list())
         return 0

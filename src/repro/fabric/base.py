@@ -36,6 +36,12 @@ class BaseFabric:
 
     name = "base"
 
+    #: Whether the model assigns meaningful AXI IDs and guarantees
+    #: same-ID read responses deliver in issue order (the MAO's
+    #: reorder-buffer lanes).  The runtime sanitizer only arms its
+    #: same-ID ordering check on fabrics that declare this.
+    same_id_ordering = False
+
     def __init__(
         self,
         platform: HbmPlatform,

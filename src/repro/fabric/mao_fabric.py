@@ -48,6 +48,12 @@ class MaoFabric(BaseFabric):
 
     name = "mao"
 
+    #: Reads are tagged with reorder-buffer lane IDs and the release rule
+    #: keeps each lane's responses in issue order whenever same-lane
+    #: reads are never concurrently in flight (reorder_depth >=
+    #: outstanding).  See the sanitizer's ordering check.
+    same_id_ordering = True
+
     def __init__(
         self,
         platform: HbmPlatform = DEFAULT_PLATFORM,

@@ -15,6 +15,12 @@ def _fast_path_default() -> bool:
         "0", "false", "no", "off")
 
 
+def _sanitize_default() -> bool:
+    """Sanitizer is off unless ``REPRO_SANITIZE`` enables it globally."""
+    return os.environ.get("REPRO_SANITIZE", "0").lower() in (
+        "1", "true", "yes", "on")
+
+
 @dataclass(frozen=True)
 class SimConfig:
     """Parameters of one simulation run.
@@ -42,6 +48,13 @@ class SimConfig:
     differential tests in ``tests/test_engine_fastpath.py``).  Set to
     ``False`` — or export ``REPRO_FAST_PATH=0`` — to fall back to the
     legacy strictly per-cycle loop when debugging."""
+
+    sanitize: bool = field(default_factory=_sanitize_default)
+    """Attach the runtime invariant sanitizer
+    (:class:`~repro.check.sanitizer.Sanitizer`) to the run.  The
+    sanitizer is a pure observer — reports stay bit-identical — but it
+    costs time, so it is off by default; enable per run here, via the
+    CLI's ``--sanitize``, or globally with ``REPRO_SANITIZE=1``."""
 
     txn_timeout_cycles: Optional[int] = None
     """Per-transaction watchdog: a transaction seeing no completion (or
@@ -85,6 +98,15 @@ class SimConfig:
         if self.retry_backoff_cap < self.retry_backoff_cycles:
             raise ConfigError(
                 "retry_backoff_cap must be >= retry_backoff_cycles")
+        if (self.txn_timeout_cycles is not None
+                and self.retry_backoff_cap >= self.txn_timeout_cycles):
+            # A retry parked for its full backoff would sit past the
+            # watchdog deadline and be reported as a timeout instead of
+            # re-issuing — a silent hang disguised as a fault.
+            raise ConfigError(
+                f"retry_backoff_cap ({self.retry_backoff_cap}) must be < "
+                f"txn_timeout_cycles ({self.txn_timeout_cycles}); a parked "
+                f"retry would outlive the transaction watchdog")
 
     @property
     def measured_cycles(self) -> int:

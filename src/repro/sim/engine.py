@@ -31,17 +31,35 @@ differential tests in ``tests/test_engine_fastpath.py``).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import (TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence,
+                    Tuple)
 
 from ..axi.master import MasterPort, TrafficSource
-from ..axi.transaction import STATUS_OK
-from ..errors import ObserverError, SimulationError
+from ..axi.transaction import STATUS_OK, AxiTransaction
+from ..errors import ObserverError, SanitizerError, SimulationError
 from ..fabric.base import BaseFabric
 from ..faults.inject import FaultInjector
 from ..faults.plan import FaultPlan
 from ..faults.watchdog import ProgressWatchdog, TransactionWatchdog
 from .config import SimConfig
 from .stats import SimReport, StatsCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..check.sanitizer import Sanitizer
+
+#: One cycle's completion batch as handed over by the fabric:
+#: ``(transaction, fabric-time of the last beat)`` pairs.
+CompletionBatch = List[Tuple[AxiTransaction, float]]
+
+
+class CompletionObserver(Protocol):
+    """Anything with an ``on_complete(txn, cycle)`` hook.
+
+    Observers see every *attempt* (successes, NACKs, poisoned reads)
+    exactly once, after the engine's own accounting for the batch.
+    """
+
+    def on_complete(self, txn: AxiTransaction, cycle: int) -> None: ...
 
 
 class Engine:
@@ -52,14 +70,14 @@ class Engine:
         fabric: BaseFabric,
         sources: Sequence[TrafficSource],
         config: Optional[SimConfig] = None,
-        observers: Sequence = (),
+        observers: Sequence[CompletionObserver] = (),
         faults: Optional[FaultPlan] = None,
     ) -> None:
         self.fabric = fabric
         self.config = config or SimConfig()
         #: Objects with an ``on_complete(txn, cycle)`` hook (e.g.
         #: :class:`~repro.sim.trace.TraceRecorder`).
-        self.observers = list(observers)
+        self.observers: List[CompletionObserver] = list(observers)
         platform = fabric.platform
         if len(sources) > platform.num_masters:
             raise SimulationError(
@@ -86,6 +104,12 @@ class Engine:
             hook = self._txn_dog.note_issue
             for mp in self.masters:
                 mp.on_issue = hook
+        #: Runtime invariant checker, or ``None`` (the default).  When
+        #: off the engine pays one ``is None`` test per completion batch.
+        self.sanitizer: Optional[Sanitizer] = None
+        if cfg.sanitize:
+            from ..check.sanitizer import Sanitizer
+            Sanitizer().attach(self)
         self.cycle = 0
         #: Cycles the last :meth:`run` actually stepped (diagnostics; equals
         #: ``config.cycles`` on the legacy path, typically less on the fast
@@ -101,6 +125,8 @@ class Engine:
             self._run_legacy()
         fabric = self.fabric
         masters = self.masters
+        if self.sanitizer is not None:
+            self.sanitizer.finish()
         self.stats.finalize_dram(fabric.pchs)
         issued = sum(mp.issued for mp in masters)
         completed = sum(mp.completed for mp in masters)
@@ -114,7 +140,8 @@ class Engine:
             unrecoverable=sum(mp.unrecoverable for mp in masters),
             dead_pchs=(list(self.injector.dead) if self.injector else []))
 
-    def _process_completions(self, done, cycle: int, by_index) -> None:
+    def _process_completions(self, done: CompletionBatch, cycle: int,
+                             by_index: Dict[int, MasterPort]) -> None:
         """Route one cycle's completion batch.
 
         Two phases: first the accounting (masters, watchdogs, stats) for
@@ -143,11 +170,18 @@ class Engine:
                 for obs in observers:
                     try:
                         obs.on_complete(txn, cycle)
+                    except SanitizerError:
+                        # A sanitizer finding is a typed simulator-bug
+                        # report, not an observer crash: let it surface
+                        # unwrapped.
+                        raise
                     except Exception as exc:
                         raise ObserverError(
                             f"observer {type(obs).__name__} raised on "
                             f"transaction #{txn.uid} at cycle {cycle}: "
                             f"{exc}") from exc
+        if self.sanitizer is not None:
+            self.sanitizer.after_batch(cycle)
 
     def _run_legacy(self) -> None:
         """The reference per-cycle loop: every master, every cycle."""
@@ -292,6 +326,7 @@ class Engine:
             mp.draining = True
         fast = self.config.fast_path
         dog = self._txn_dog
+        san = self.sanitizer
         start = self.cycle + 1
         end = start + max_cycles
         try:
@@ -313,11 +348,19 @@ class Engine:
                             mp.on_nack(txn, cycle)
                         else:
                             mp.on_complete(txn, cycle)
+                        # Observers are not notified during drain, but the
+                        # sanitizer's in-flight ledger must keep tracking.
+                        if san is not None:
+                            san.on_complete(txn, cycle)
+                    if san is not None:
+                        san.after_batch(cycle)
                 if dog is not None:
                     dog.check(cycle)
                 if fabric.quiescent() and all(
                         mp.outstanding == 0 and not mp.retry_pending
                         for mp in masters):
+                    if san is not None:
+                        san.check_drained()
                     return cycle - start + 1
                 nxt = cycle + 1
                 if fast:

@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..axi.transaction import AxiTransaction
 from ..params import HbmPlatform, gbps
 from ..types import Direction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dram.pch import PseudoChannel
 
 
 #: Buckets of the log2 latency histograms: bucket ``i`` counts round-trip
@@ -210,16 +213,16 @@ class StatsCollector:
     # -- DRAM-side accounting ---------------------------------------------------
 
     @staticmethod
-    def _dram_totals(pchs) -> tuple:
+    def _dram_totals(pchs: Sequence["PseudoChannel"]) -> Tuple[int, int]:
         rd = sum(p.counters.read_beats for p in pchs)
         wr = sum(p.counters.write_beats for p in pchs)
         return rd, wr
 
-    def snapshot_dram(self, pchs) -> None:
+    def snapshot_dram(self, pchs: Sequence["PseudoChannel"]) -> None:
         """Called by the engine when the warmup window ends."""
         self._dram_baseline = self._dram_totals(pchs)
 
-    def finalize_dram(self, pchs) -> None:
+    def finalize_dram(self, pchs: Sequence["PseudoChannel"]) -> None:
         """Called by the engine at the end of the run."""
         self._dram_final = self._dram_totals(pchs)
         # ECC events are whole-run totals (faults are scheduled events,
@@ -229,7 +232,8 @@ class StatsCollector:
 
     def report(self, cycles: int, *, issued: int, completed: int,
                fabric_name: str, retries: int = 0, nacks: int = 0,
-               unrecoverable: int = 0, dead_pchs=()) -> SimReport:
+               unrecoverable: int = 0,
+               dead_pchs: Sequence[int] = ()) -> SimReport:
         read_bytes, write_bytes = self.read_bytes, self.write_bytes
         if self._dram_baseline is not None and self._dram_final is not None:
             bpb = self.platform.bytes_per_beat

@@ -1,0 +1,118 @@
+"""Tests of the determinism lint (``repro.check.lint``) and the typing gate."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.check.lint import default_src_root, lint_source, lint_tree
+
+
+def _codes(source: str):
+    return [f.code for f in lint_source(source)]
+
+
+# -- the gate itself ----------------------------------------------------------
+
+def test_src_tree_is_lint_clean():
+    """The shipped sources contain no undeclared nondeterminism."""
+    findings = lint_tree(default_src_root())
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+# -- DL001: unseeded randomness -----------------------------------------------
+
+def test_dl001_bare_random_module_calls():
+    assert _codes("import random\nx = random.random()\n") == ["DL001"]
+    assert _codes("import random\nrandom.shuffle(items)\n") == ["DL001"]
+    assert _codes("import secrets\nt = secrets.token_hex()\n") == ["DL001"]
+    assert _codes("import uuid\nu = uuid.uuid4()\n") == ["DL001"]
+    assert _codes("import os\nb = os.urandom(8)\n") == ["DL001"]
+
+
+def test_dl001_unseeded_default_rng():
+    assert _codes("import numpy as np\nr = np.random.default_rng()\n") \
+        == ["DL001"]
+    assert _codes("from numpy.random import default_rng\nr = default_rng()\n")\
+        == ["DL001"]
+
+
+def test_dl001_seeded_generators_allowed():
+    assert _codes("import random\nrng = random.Random(7)\nrng.random()\n") \
+        == []
+    assert _codes("import numpy as np\nr = np.random.default_rng(42)\n") == []
+
+
+# -- DL002: wall-clock reads --------------------------------------------------
+
+def test_dl002_wall_clock_reads():
+    assert _codes("import time\nt = time.time()\n") == ["DL002"]
+    assert _codes("import time\nt = time.perf_counter()\n") == ["DL002"]
+    assert _codes("from datetime import datetime\nd = datetime.now()\n") \
+        == ["DL002"]
+
+
+# -- DL003: set iteration order -----------------------------------------------
+
+def test_dl003_direct_set_iteration():
+    assert _codes("for x in {1, 2, 3}:\n    pass\n") == ["DL003"]
+    assert _codes("ys = [x for x in set(items)]\n") == ["DL003"]
+
+
+def test_dl003_sorted_set_allowed():
+    assert _codes("for x in sorted({1, 2, 3}):\n    pass\n") == []
+    # Named sets are out of scope (the lint targets the literal pattern).
+    assert _codes("s = {1, 2}\nfor x in s:\n    pass\n") == []
+
+
+# -- DL004: mutable default arguments -----------------------------------------
+
+def test_dl004_mutable_defaults():
+    assert _codes("def f(x=[]):\n    pass\n") == ["DL004"]
+    assert _codes("def f(*, x={}):\n    pass\n") == ["DL004"]
+    assert _codes("def f(x=dict()):\n    pass\n") == ["DL004"]
+    assert _codes("def f(x=(), y=None):\n    pass\n") == []
+
+
+# -- plumbing -----------------------------------------------------------------
+
+def test_pragma_suppresses_one_line():
+    src = ("import time\n"
+           "a = time.perf_counter()  # det-lint: allow\n"
+           "b = time.perf_counter()\n")
+    findings = lint_source(src, "mod.py")
+    assert [f.code for f in findings] == ["DL002"]
+    assert findings[0].location == "mod.py:3"
+
+
+def test_syntax_error_reported_not_raised():
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert [f.code for f in findings] == ["DL000"]
+
+
+def test_locations_are_relative_to_package_parent():
+    findings = lint_tree(default_src_root())
+    assert findings == []  # and, separately, on a tree with findings:
+    from repro.check.lint import lint_paths
+    root = default_src_root()
+    some = sorted(root.rglob("*.py"))[:1]
+    assert lint_paths(some, root=root.parent) == []
+
+
+# -- mypy strictness ladder (satellite) ---------------------------------------
+
+def test_mypy_strict_ladder():
+    """Run the configured mypy ladder when mypy is available.
+
+    The container image does not ship mypy; CI installs it and runs this
+    test (plus the same command standalone in the lint-and-check job).
+    """
+    pytest.importorskip("mypy")
+    root = default_src_root().parent.parent  # repo root (pyproject.toml)
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file",
+         str(root / "pyproject.toml")],
+        cwd=root, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,225 @@
+"""Tests of the static config/topology analyzer (``repro.check.static``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.findings import Finding, Report, render
+from repro.check.static import (WaitGraph, build_wait_graph,
+                                check_address_map, check_config,
+                                check_credits, check_experiment,
+                                check_fabric_kind, check_fault_plan,
+                                check_topology, quick_check,
+                                render_experiment_report)
+from repro.core.mao import MaoConfig
+from repro.errors import ConfigError
+from repro.experiments.registry import EXPERIMENTS
+from repro.fabric import MaoFabric, SegmentedFabric
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.sim import SimConfig
+from repro.types import FabricKind
+
+
+# -- findings plumbing --------------------------------------------------------
+
+def test_findings_render_sorted_by_severity():
+    fs = [Finding("info", "B", "b"), Finding("error", "A", "a", "loc"),
+          Finding("warning", "C", "c")]
+    lines = render(fs).splitlines()
+    assert lines[0].startswith("[ERROR") and "(loc)" in lines[0]
+    assert lines[1].startswith("[WARNING")
+    assert lines[2].startswith("[INFO")
+
+
+def test_report_partitions():
+    rep = Report([Finding("error", "X", "x"), Finding("warning", "Y", "y")])
+    assert len(rep.errors) == 1 and len(rep.warnings) == 1
+    assert not rep.ok
+    assert Report([Finding("warning", "Y", "y")]).ok
+
+
+# -- address-map bijection ----------------------------------------------------
+
+class _AliasingMap:
+    """Drops the high address bits: many globals alias one (pch, local)."""
+
+    granularity = 4096
+
+    def __init__(self, platform):
+        self._n = platform.num_pch
+
+    def pch_of(self, addr: int) -> int:
+        return (addr // self.granularity) % self._n
+
+    def local_of(self, addr: int) -> int:
+        return addr % self.granularity
+
+    def global_of(self, pch: int, local: int) -> int:
+        return pch * self.granularity + local
+
+
+def test_real_maps_are_bijective(small_platform):
+    for fab in (SegmentedFabric(small_platform), MaoFabric(small_platform)):
+        assert check_address_map(fab.address_map, small_platform) == []
+
+
+def test_aliasing_map_detected(small_platform):
+    findings = check_address_map(_AliasingMap(small_platform), small_platform)
+    errors = [f for f in findings if f.severity == "error"]
+    assert errors and all(f.code == "ADDR_BIJECTION" for f in errors)
+    # The probe budget caps the noise and says so.
+    assert len(errors) <= 5
+    assert any(f.severity == "info" and "suppressed" in f.message
+               for f in findings)
+
+
+# -- credit sizing ------------------------------------------------------------
+
+def test_shallow_reorder_depth_flagged(small_platform):
+    fab = MaoFabric(small_platform, MaoConfig(reorder_depth=1))
+    findings = check_credits(fab, SimConfig(outstanding=32))
+    codes = {f.code for f in findings}
+    assert "CREDIT_STARVE" in codes and "ORDERING_RELAXED" in codes
+    assert all(f.severity != "error" for f in findings)
+
+
+def test_default_reorder_depth_clean(small_platform):
+    fab = MaoFabric(small_platform)
+    assert check_credits(fab, SimConfig(outstanding=32)) == []
+
+
+def test_quick_check_silent_on_warnings(small_platform):
+    # Sweeps legitimately explore starved configurations (Fig. 6), so the
+    # O(1) pre-flight must not reject warning-severity findings.
+    fab = MaoFabric(small_platform, MaoConfig(reorder_depth=1))
+    quick_check(fab, SimConfig(outstanding=32))
+
+
+# -- cross-field config sizing ------------------------------------------------
+
+def test_timeout_ladder_warning():
+    cfg = SimConfig(txn_timeout_cycles=1500, retry_backoff_cap=1024)
+    findings = check_config(cfg)
+    assert any(f.code == "TIMEOUT_LADDER" and f.severity == "warning"
+               for f in findings)
+    assert check_config(SimConfig(txn_timeout_cycles=4096)) == []
+
+
+def test_watchdog_refresh_warning(platform):
+    tight = platform.dram.t_rfc
+    cfg = SimConfig(progress_timeout_cycles=tight)
+    assert any(f.code == "WATCHDOG_REFRESH"
+               for f in check_config(cfg, platform))
+
+
+# -- wait-graph deadlock analysis ---------------------------------------------
+
+def test_wait_graph_finds_undrained_cycle():
+    g = WaitGraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "a")
+    g.add_edge("c", "sink")
+    assert g.cycles() == [["a", "b", "c"]]
+    assert g.deadlock_cycles() == [["a", "b", "c"]]
+
+
+def test_wait_graph_drain_cuts_cycle():
+    g = WaitGraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "a")
+    g.mark_drains("b")
+    assert g.cycles() == [["a", "b"]]
+    assert g.deadlock_cycles() == []
+
+
+def test_wait_graph_self_loop():
+    g = WaitGraph()
+    g.add_edge("x", "x")
+    assert g.deadlock_cycles() == [["x"]]
+
+
+def test_segmented_topology_cycle_is_drained(small_platform):
+    """The shared lateral buses form the textbook req/resp cycle; the
+    model drains it by metering the bus, reported as info not error."""
+    findings = check_topology(SegmentedFabric(small_platform))
+    assert all(f.severity != "error" for f in findings)
+    assert any(f.code == "DRAINED_CYCLE" for f in findings)
+
+
+def test_removing_the_drain_exposes_the_deadlock(small_platform):
+    g = build_wait_graph(SegmentedFabric(small_platform))
+    g.drains.clear()
+    assert g.deadlock_cycles()
+
+
+def test_mao_topology_has_no_deadlock_capable_cycle(small_platform):
+    g = build_wait_graph(MaoFabric(small_platform))
+    assert g.deadlock_cycles() == []
+
+
+# -- fault-plan liveness ------------------------------------------------------
+
+def test_fault_plan_liveness_findings(platform):
+    plan = FaultPlan([
+        FaultEvent(FaultKind.PCH_OFFLINE, at=9999, pch=1),
+        FaultEvent(FaultKind.PCH_OFFLINE, at=10, pch=platform.num_pch + 3),
+        FaultEvent(FaultKind.PCH_OFFLINE, at=20, pch=2),
+        FaultEvent(FaultKind.PCH_OFFLINE, at=30, pch=2),
+        FaultEvent(FaultKind.LINK_STALL, at=40, cut=99, duration=10),
+    ])
+    findings = check_fault_plan(plan, cycles=6000, platform=platform)
+    codes = [f.code for f in findings]
+    assert codes.count("FAULT_NEVER_FIRES") == 2  # past horizon + dup offline
+    assert codes.count("FAULT_TARGET_RANGE") == 2  # bad pch + bad cut
+
+
+def test_fault_plan_no_survivors(platform):
+    events = [FaultEvent(FaultKind.PCH_OFFLINE, at=10 + p, pch=p)
+              for p in range(platform.num_pch)]
+    findings = check_fault_plan(FaultPlan(events, degrade=True),
+                                cycles=6000, platform=platform)
+    assert any(f.code == "FAULT_NO_SURVIVORS" and f.severity == "error"
+               for f in findings)
+
+
+def test_clean_fault_plan_has_no_findings(platform):
+    plan = FaultPlan([FaultEvent(FaultKind.PCH_OFFLINE, at=450, pch=2)],
+                     degrade=True)
+    assert check_fault_plan(plan, cycles=6000, platform=platform) == []
+
+
+# -- experiment pre-validation ------------------------------------------------
+
+@pytest.mark.parametrize("key", sorted(EXPERIMENTS))
+def test_registry_experiments_statically_clean(key):
+    findings = check_experiment(key)
+    assert [f for f in findings if f.severity == "error"] == []
+
+
+def test_check_fabric_kind_covers_all_passes(small_platform):
+    findings = check_fabric_kind(FabricKind.XLNX, SimConfig(),
+                                 platform=small_platform, location="adhoc")
+    # The segmented fabric reports its drained bus cycles, nothing worse.
+    assert findings and all(f.severity == "info" for f in findings)
+    assert all(f.location == "adhoc" for f in findings)
+
+
+def test_render_experiment_report_shape():
+    results = {
+        "good": [],
+        "bad": [Finding("error", "X", "boom", "bad:xlnx")],
+    }
+    text, ok = render_experiment_report(results)
+    assert not ok
+    assert "bad          FAIL  (1 errors, 0 warnings)" in text
+    assert "good         ok  (0 errors, 0 warnings)" in text
+    assert text.strip().endswith("2 experiment(s) checked: 1 errors, "
+                                 "0 warnings")
+
+
+def test_backoff_cap_validation_guards_the_ladder():
+    # Satellite check: the hard cross-field validation sits below the
+    # static TIMEOUT_LADDER warning — cap >= watchdog is rejected outright.
+    with pytest.raises(ConfigError, match="retry_backoff_cap"):
+        SimConfig(txn_timeout_cycles=512, retry_backoff_cap=512)

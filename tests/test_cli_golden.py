@@ -51,6 +51,12 @@ CASES = {
         "chaos", "--scenario", "pch-offline", "--cycles", "2000"],
     "chaos_pch_offline_strict.txt": [
         "chaos", "--scenario", "pch-offline-strict", "--cycles", "2000"],
+    # The static analyzer is deterministic by construction (sorted
+    # findings, fixed LCG probes), so its reports pin cleanly too.
+    "check_all.txt": ["check", "--all"],
+    "check_fig6.txt": ["check", "fig6"],
+    "check_adhoc_mao_o64.txt": [
+        "check", "--fabric", "mao", "--outstanding", "64"],
 }
 
 

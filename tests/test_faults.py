@@ -216,7 +216,7 @@ class TestFaultRuns:
 
     def test_offline_without_degradation_times_out(self):
         engine = _engine(faults=_offline_plan(degrade=False),
-                         txn_timeout_cycles=600)
+                         txn_timeout_cycles=600, retry_backoff_cap=256)
         with pytest.raises(TransactionTimeout):
             engine.run()
             engine.drain()
@@ -379,6 +379,17 @@ class TestResilienceConfig:
             SimConfig(retry_backoff_cycles=0)
         with pytest.raises(ConfigError):
             SimConfig(retry_backoff_cycles=64, retry_backoff_cap=32)
+
+    def test_backoff_cap_must_fit_watchdog_window(self):
+        """A retry parked past the watchdog deadline is a silent hang
+        disguised as a timeout; the config rejects the combination."""
+        with pytest.raises(ConfigError, match="retry_backoff_cap"):
+            SimConfig(txn_timeout_cycles=600)  # default cap is 1024
+        with pytest.raises(ConfigError, match="retry_backoff_cap"):
+            SimConfig(txn_timeout_cycles=1024, retry_backoff_cap=1024)
+        # Equal-or-below cap with headroom is fine.
+        cfg = SimConfig(txn_timeout_cycles=2048, retry_backoff_cap=1024)
+        assert cfg.retry_backoff_cap < cfg.txn_timeout_cycles
 
     def test_retry_knobs_reach_masters(self):
         engine = _engine(max_retries=3, retry_backoff_cycles=32,
