@@ -210,6 +210,13 @@ class MasterPort:
         return bool(self._retry)
 
     @property
+    def retry_queue_depth(self) -> int:
+        """Transactions currently parked in the backoff queue (a
+        telemetry gauge: sustained depth means the fabric keeps NACKing
+        faster than the backoff drains)."""
+        return len(self._retry)
+
+    @property
     def idle(self) -> bool:
         """No credit in use, no staged retry, no backoff queue."""
         return (self.outstanding == 0 and self._staged is None

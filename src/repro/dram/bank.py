@@ -17,7 +17,7 @@ class BankSet:
     """Row/activate state of all banks of one pseudo-channel."""
 
     __slots__ = ("timing", "open_row", "next_act", "last_act_any",
-                 "activates", "row_hits")
+                 "activates", "row_hits", "conflicts")
 
     def __init__(self, timing: DramTiming) -> None:
         self.timing = timing
@@ -30,6 +30,9 @@ class BankSet:
         self.last_act_any = -1.0e18
         self.activates = 0
         self.row_hits = 0
+        #: Misses that closed a *different* open row first (precharge
+        #: paid); ``activates - conflicts`` opened a cold bank.
+        self.conflicts = 0
 
     def bank_of(self, local_addr: int) -> int:
         row = local_addr // self.timing.row_bytes
@@ -65,7 +68,11 @@ class BankSet:
         rrd_ready = self.last_act_any + t.t_rrd
         if rrd_ready > act:
             act = rrd_ready
-        penalty = t.t_rcd if self.open_row[bank] < 0 else t.t_rp + t.t_rcd
+        if self.open_row[bank] < 0:
+            penalty = t.t_rcd
+        else:
+            penalty = t.t_rp + t.t_rcd
+            self.conflicts += 1
         self.open_row[bank] = row
         self.next_act[bank] = act + t.t_rc
         self.last_act_any = act

@@ -285,6 +285,10 @@ class MemoryController:
         q.clear()
         return flushed
 
+    def queued(self, pch_index: int) -> int:
+        """Scheduler-queue depth of one fronted PCH (telemetry gauge)."""
+        return len(self.queues[self.local_index(pch_index)])
+
     def pending_reads(self, pch_index: int) -> int:
         """Read-data events booked but not yet delivered for a PCH."""
         return sum(1 for item in self._pending if self.pchs[item[3]].index == pch_index)

@@ -7,7 +7,7 @@ from typing import Optional, Sequence, Tuple
 from ..check.static import quick_check
 from ..params import HbmPlatform, DEFAULT_PLATFORM
 from ..sim import Engine, SimConfig, SimReport
-from ..sim.cache import DEFAULT_CACHE, SimCache, sweep_key  # noqa: F401
+from ..sim.cache import DEFAULT_CACHE, MISS, SimCache, sweep_key  # noqa: F401
 from ..types import FabricKind
 from .. import make_fabric
 
@@ -24,6 +24,7 @@ def measure(
     outstanding: int = 32,
     platform: HbmPlatform = DEFAULT_PLATFORM,
     fabric=None,
+    faults=None,
     cache_key: Optional[Tuple] = None,
     cache: Optional[SimCache] = None,
 ) -> SimReport:
@@ -32,14 +33,17 @@ def measure(
     With a ``cache_key`` (build one with :func:`~repro.sim.cache.sweep_key`)
     the report is memoized in ``cache`` (default: the process-wide
     :data:`~repro.sim.cache.DEFAULT_CACHE`).  The key must cover every
-    input that shapes the result *except* ``cycles``/``outstanding``/the
-    platform, which are folded in here.
+    input that shapes the result *except* ``cycles``/``outstanding``/
+    ``faults``/the platform, which are folded in here — so a faulted
+    point can never collide with its fault-free twin.
     """
     if cache_key is not None:
         cache = cache if cache is not None else DEFAULT_CACHE
-        full_key = (cache_key, ("cycles", cycles), ("outstanding", outstanding))
-        hit = cache.get(full_key)
-        if hit is not None:
+        full_key = (cache_key, ("cycles", cycles),
+                    ("outstanding", outstanding),
+                    ("faults", repr(faults) if faults is not None else None))
+        hit = cache.lookup(full_key)
+        if hit is not MISS:
             return hit
     fab = fabric if fabric is not None else make_fabric(fabric_kind, platform)
     cfg = SimConfig(cycles=cycles, warmup=min(cycles // 4, 3_000),
@@ -47,7 +51,7 @@ def measure(
     # Pre-flight: every registry simulation passes the O(1) static checks
     # (credit wedges, timeout ladders) before any cycle is spent.
     quick_check(fab, cfg)
-    rep = Engine(fab, sources, cfg).run()
+    rep = Engine(fab, sources, cfg, faults=faults).run()
     if cache_key is not None:
         cache.put(full_key, rep)
     return rep

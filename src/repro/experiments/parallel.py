@@ -16,8 +16,11 @@ per-point workers at module scope for exactly this reason.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from ..sim.cache import MISS
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -30,7 +33,10 @@ def default_workers() -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring invalid REPRO_WORKERS={env!r} (not an integer); "
+                f"falling back to the CPU count",
+                RuntimeWarning, stacklevel=2)
     return max(1, min(8, os.cpu_count() or 1))
 
 
@@ -66,8 +72,9 @@ def parallel_sweep(
     if cache is None or key_fn is None:
         return _map(fn, items, n)
     keys = [key_fn(item) for item in items]
-    results: List[Optional[R]] = [cache.get(k) for k in keys]
-    missing = [i for i, r in enumerate(results) if r is None]
+    # MISS, not None: a legitimately cached None must count as a hit.
+    results: List[R] = [cache.lookup(k) for k in keys]
+    missing = [i for i, r in enumerate(results) if r is MISS]
     if missing:
         computed = _map(fn, [items[i] for i in missing], n)
         for i, value in zip(missing, computed):

@@ -8,6 +8,7 @@ Usage::
     repro-hbm estimate --pattern CCS --fabric mao --rw 2:1 --burst 16
     repro-hbm advise --pattern CCRA --fabric xlnx --outstanding 4
     repro-hbm chaos --scenario pch-offline [--fabric xlnx] [--seed 0]
+    repro-hbm profile fig2 [--trace-out trace.json] [--manifest-out m.json]
     repro-hbm check --all          # statically validate every experiment
     repro-hbm check fig6 --lint    # one experiment + determinism lint
 """
@@ -80,6 +81,27 @@ def _cmd_chaos(args) -> str:
         seed=args.seed,
     )
     return format_report(results)
+
+
+def _cmd_profile(args) -> str:
+    # Lazy import: the profiler pulls in the telemetry and traffic layers,
+    # which the other subcommands never need.
+    from ..telemetry.profile import profile_experiment
+    result = profile_experiment(
+        args.key,
+        cycles=args.cycles,
+        interval=args.interval,
+        seed=args.seed,
+        trace_out=args.trace_out,
+        manifest_out=args.manifest_out,
+    )
+    lines = [result.summary]
+    if args.trace_out:
+        lines.append(f"wrote Perfetto trace to {args.trace_out} "
+                     f"(load at ui.perfetto.dev or chrome://tracing)")
+    if args.manifest_out:
+        lines.append(f"wrote provenance manifest to {args.manifest_out}")
+    return "\n".join(lines)
 
 
 def _cmd_check(args) -> tuple:
@@ -166,6 +188,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="attach the runtime invariant sanitizer to "
                                "every simulation (bit-identical results, "
                                "slower; see repro.check)")
+    sim_opts.add_argument("--telemetry", action="store_true",
+                          help="attach the telemetry sampler to every "
+                               "simulation (bit-identical results; see "
+                               "repro.telemetry and the profile subcommand)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
     p_run = sub.add_parser("run", help="run selected experiments",
@@ -201,6 +227,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chaos.add_argument("--seed", type=int, default=0,
                          help="traffic and fault-plan seed")
     p_chaos.add_argument("--out", type=str, default=None)
+    p_prof = sub.add_parser(
+        "profile", help="run one experiment's representative point under "
+                        "full telemetry; bottleneck report + Perfetto trace",
+        parents=[sim_opts])
+    p_prof.add_argument("key", choices=sorted(EXPERIMENTS),
+                        help="experiment whose representative point to "
+                             "profile")
+    p_prof.add_argument("--cycles", type=int, default=6000,
+                        help="simulation horizon in fabric cycles")
+    p_prof.add_argument("--interval", type=int, default=None,
+                        help="telemetry sampling interval in fabric cycles "
+                             "(default: ~64 samples per run)")
+    p_prof.add_argument("--seed", type=int, default=0,
+                        help="traffic (and fault-plan) seed")
+    p_prof.add_argument("--trace-out", type=str, default=None,
+                        help="write a Chrome trace-event / Perfetto JSON "
+                             "timeline here")
+    p_prof.add_argument("--manifest-out", type=str, default=None,
+                        help="write the per-run provenance manifest here")
+    p_prof.add_argument("--out", type=str, default=None)
     p_check = sub.add_parser(
         "check", help="static config/topology analyzer and determinism lint")
     p_check.add_argument("keys", nargs="*", metavar="KEY",
@@ -236,6 +282,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_FAST_PATH"] = "0"
     if getattr(args, "sanitize", False):
         os.environ["REPRO_SANITIZE"] = "1"
+    if getattr(args, "telemetry", False):
+        os.environ["REPRO_TELEMETRY"] = "1"
+    if args.command == "profile":
+        text = _cmd_profile(args)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+        return 0
     if args.command == "check":
         text, rc = _cmd_check(args)
         print(text)

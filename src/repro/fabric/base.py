@@ -215,6 +215,47 @@ class BaseFabric:
 
     # -- reporting ----------------------------------------------------------------
 
+    def telemetry_probes(self) -> list:
+        """Probes over this fabric's observable components.
+
+        The base set covers what every fabric shares — per-PCH DRAM
+        counters and bank page state, plus the controllers' scheduler
+        queue depths.  Subclasses extend it with their interconnect
+        (links, reorder buffers).  The telemetry package is imported
+        lazily: it sits *above* the simulation core in the layering, so
+        fabrics must not import it at module level.
+        """
+        from ..telemetry.metrics import COUNTER, GAUGE, Probe
+        probes = []
+        for p in self.pchs:
+            i = p.index
+            c = p.counters
+            b = p.banks
+            probes += [
+                Probe(f"dram.pch{i}.beats", COUNTER,
+                      lambda c=c: c.beats_transferred, "dram"),
+                Probe(f"dram.pch{i}.page_hits", COUNTER,
+                      lambda b=b: b.row_hits, "dram"),
+                Probe(f"dram.pch{i}.page_misses", COUNTER,
+                      lambda b=b: b.activates, "dram"),
+                Probe(f"dram.pch{i}.page_conflicts", COUNTER,
+                      lambda b=b: b.conflicts, "dram"),
+                Probe(f"dram.pch{i}.turnarounds", COUNTER,
+                      lambda c=c: c.turnarounds, "dram"),
+                Probe(f"dram.pch{i}.refreshes", COUNTER,
+                      lambda c=c: c.refreshes, "dram"),
+                Probe(f"dram.pch{i}.port_stalls", COUNTER,
+                      lambda c=c: c.port_stalls, "dram"),
+                Probe(f"dram.pch{i}.miss_gaps", COUNTER,
+                      lambda c=c: c.miss_gaps, "dram"),
+            ]
+        for mc in self.mcs:
+            for p in mc.pchs:
+                probes.append(Probe(
+                    f"mc{mc.index}.pch{p.index}.queue", GAUGE,
+                    lambda mc=mc, i=p.index: mc.queued(i), "fabric"))
+        return probes
+
     def dram_counters(self):
         """Aggregate PCH counters (diagnostics)."""
         from ..dram.pch import PchCounters

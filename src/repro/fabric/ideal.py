@@ -80,6 +80,19 @@ class IdealFabric(BaseFabric):
                 nxt = t
         return nxt if nxt > cycle + 1 else cycle + 1
 
+    def telemetry_probes(self) -> list:
+        """Base DRAM/controller probes plus the transit/staging gauges
+        (the ideal fabric has no contended interconnect to probe)."""
+        from ..telemetry.metrics import GAUGE, Probe
+        probes = super().telemetry_probes()
+        probes.append(Probe(
+            "ideal.in_transit", GAUGE,
+            lambda self=self: len(self._in_transit), "fabric"))
+        probes.append(Probe(
+            "ideal.staged", GAUGE, lambda self=self: len(self._staged),
+            "fabric"))
+        return probes
+
     def _on_read_data(self, txn: AxiTransaction, time: float) -> None:
         self._schedule_completion(txn, time + 1)
 

@@ -154,7 +154,8 @@ class ArbOutput:
 
     __slots__ = ("name", "inputs", "dest", "latency", "rate", "dead_cycles",
                  "busy_until", "last_input", "reserved", "in_flight",
-                 "granted_flits", "busy_weight", "shared", "pending_in")
+                 "granted_flits", "busy_weight", "shared", "pending_in",
+                 "grant_stalls")
 
     def __init__(
         self,
@@ -189,6 +190,11 @@ class ArbOutput:
         #: Zero means an arbitration scan cannot succeed — the fast
         #: early-out of :meth:`step`.
         self.pending_in: int = 0
+        #: Cycles a pending flit waited while this bus was *idle* —
+        #: the shared lateral bus was held by the partner direction, the
+        #: destination FIFO was full, or head-of-line blocking hid every
+        #: eligible head.  Transmission cycles are occupancy, not stalls.
+        self.grant_stalls: int = 0
 
     # -- simulation ----------------------------------------------------------
 
@@ -205,18 +211,21 @@ class ArbOutput:
         if self.pending_in == 0:
             return  # nothing routed here: the scan below cannot grant
         if self.busy_until > cycle:
-            return
+            return  # transmitting: the bus is occupied, not stalled
         if self.shared is not None and self.shared.busy_until > cycle:
+            self.grant_stalls += 1  # partner direction holds the lateral
             return
-        self._try_grant(cycle)
+        if not self._try_grant(cycle):
+            self.grant_stalls += 1  # dest backpressure / HOL blocking
 
-    def _try_grant(self, cycle: int) -> None:
+    def _try_grant(self, cycle: int) -> bool:
+        """Attempt one round-robin grant; returns whether one was issued."""
         inputs = self.inputs
         n = len(inputs)
         if n == 0:
-            return
+            return False
         if len(self.dest.items) + self.reserved >= self.dest.capacity:
-            return
+            return False
         idx = self.last_input
         for _ in range(n):
             idx += 1
@@ -243,7 +252,8 @@ class ArbOutput:
             self.last_input = idx
             self.granted_flits += 1
             self.busy_weight += flit.weight
-            return
+            return True
+        return False
 
     def quiescent(self) -> bool:
         """True when nothing is buffered or in flight on this bus."""

@@ -155,6 +155,31 @@ class MaoFabric(BaseFabric):
                 nxt = t
         return nxt if nxt > cycle + 1 else cycle + 1
 
+    # -- telemetry ---------------------------------------------------------------
+
+    def telemetry_probes(self) -> list:
+        """Base DRAM/controller probes plus the MAO's reorder state.
+
+        The MAO network itself is non-blocking, so there are no link
+        probes; what *can* bind is the reorder machinery — per-master
+        reads in flight against the AXI ID lane ceiling — and the
+        arrival-side staging when MC queues push back.
+        """
+        from ..telemetry.metrics import GAUGE, Probe
+        probes = super().telemetry_probes()
+        rif = self._reads_in_flight
+        for m in range(self.platform.num_masters):
+            probes.append(Probe(
+                f"mao.master[{m}].reads_in_flight", GAUGE,
+                lambda rif=rif, m=m: rif[m], "fabric"))
+        probes.append(Probe(
+            "mao.staged", GAUGE, lambda self=self: len(self._staged),
+            "fabric"))
+        probes.append(Probe(
+            "mao.in_transit", GAUGE,
+            lambda self=self: len(self._in_transit), "fabric"))
+        return probes
+
     # -- fault hooks ---------------------------------------------------------------
 
     def apply_link_stall(self, until: float, cut: Optional[int] = None) -> None:

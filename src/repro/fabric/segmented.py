@@ -303,6 +303,35 @@ class SegmentedFabric(BaseFabric):
                     nxt = t
         return nxt if nxt > cycle + 1 else cycle + 1
 
+    # -- telemetry ---------------------------------------------------------------
+
+    def telemetry_probes(self) -> list:
+        """Base DRAM/controller probes plus the switch interconnect.
+
+        Every arbitrated bus exposes its cumulative granted beat-weight
+        (``occupancy_beats`` — the numerator of its utilization) and its
+        idle-but-blocked cycle count (``grant_stalls``).  Occupancy is
+        only emitted for fabric-clock buses (rate 1.0), where "beats /
+        elapsed cycles" is directly a utilization; the accelerator-paced
+        egress buses report stalls only.  Ingress FIFO depths cover the
+        per-master queueing ahead of the switch.
+        """
+        from ..telemetry.metrics import COUNTER, GAUGE, Probe
+        probes = super().telemetry_probes()
+        for m, fifo in enumerate(self.ingress):
+            probes.append(Probe(
+                f"fabric.ingress[{m}].depth", GAUGE,
+                lambda f=fifo: len(f.items), "fabric"))
+        for out in self._request_outputs + self._response_outputs:
+            if out.rate == 1.0:
+                probes.append(Probe(
+                    f"link.{out.name}.occupancy_beats", COUNTER,
+                    lambda o=out: o.busy_weight, "link"))
+            probes.append(Probe(
+                f"link.{out.name}.grant_stalls", COUNTER,
+                lambda o=out: o.grant_stalls, "link"))
+        return probes
+
     # -- fault hooks ---------------------------------------------------------------
 
     def apply_link_stall(self, until: float, cut: Optional[int] = None) -> None:

@@ -189,6 +189,7 @@ def _one_run(
     platform: HbmPlatform,
     seed: int,
     faults: Optional[FaultPlan],
+    telemetry=None,
 ) -> Tuple[Optional[SimReport], TraceRecorder, str]:
     """Simulate once; a watchdog abort yields (None, trace, error name)."""
     from .. import make_fabric
@@ -198,6 +199,8 @@ def _one_run(
                                    address_map=fab.address_map, seed=seed)
     rec = TraceRecorder(platform)
     engine = Engine(fab, sources, cfg, observers=[rec], faults=faults)
+    if telemetry is not None:
+        telemetry.attach(engine)
     try:
         report = engine.run()
         engine.drain()
@@ -216,8 +219,15 @@ def run_scenario(
     cycles: int = 6000,
     seed: int = 0,
     platform: HbmPlatform = DEFAULT_PLATFORM,
+    telemetry=None,
 ) -> ChaosResult:
-    """Run one scenario and its fault-free baseline; summarize."""
+    """Run one scenario and its fault-free baseline; summarize.
+
+    ``telemetry`` (an unattached
+    :class:`~repro.telemetry.sampler.Telemetry`) is attached to the
+    *faulted* run, so its samples cover the disturbance and recovery the
+    scenario is about; the baseline stays unobserved.
+    """
     spec = SCENARIOS.get(scenario)
     if spec is None:
         raise ConfigError(
@@ -247,7 +257,7 @@ def run_scenario(
                     txn_timeout_cycles=guard,
                     progress_timeout_cycles=guard)
     flt_rep, flt_rec, outcome = _one_run(
-        fabric, pattern, cfg, platform, seed, plan)
+        fabric, pattern, cfg, platform, seed, plan, telemetry=telemetry)
 
     return ChaosResult(
         scenario=scenario,

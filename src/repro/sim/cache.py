@@ -33,12 +33,34 @@ import hashlib
 import os
 import pickle
 import warnings
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, NoReturn, Optional, Tuple
 
-from .config import _fast_path_default
+from .config import _fast_path_default, _sanitize_default, _telemetry_default
 
 #: Bump when a model change alters simulation outputs.
 MODEL_VERSION = 2
+
+
+class _Miss:
+    """Type of the :data:`MISS` sentinel (falsy, unique, unpicklable by
+    design — a cache *value* can never compare ``is MISS``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "MISS"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self) -> NoReturn:
+        raise TypeError("MISS is a sentinel, not a cacheable value")
+
+
+#: Returned by :meth:`SimCache.lookup` when a key is absent.  Test with
+#: ``value is MISS`` — unlike ``None`` this can never collide with a
+#: legitimately cached result.
+MISS = _Miss()
 
 
 def cache_enabled() -> bool:
@@ -60,8 +82,13 @@ def sweep_key(experiment: str, platform: Any, **params: Any) -> Tuple:
     the simulated result (and nothing else).
     """
     items = tuple(sorted((k, repr(v)) for k, v in params.items()))
+    # The observer switches (sanitize, telemetry) are bit-identity
+    # preserving like fast_path, but keying on them keeps the cache
+    # trivially sound even while that property is being debugged.
     return (MODEL_VERSION, experiment, platform_digest(platform),
-            ("fast_path", _fast_path_default()), items)
+            ("fast_path", _fast_path_default()),
+            ("sanitize", _sanitize_default()),
+            ("telemetry", _telemetry_default()), items)
 
 
 class SimCache:
@@ -86,11 +113,17 @@ class SimCache:
         digest = hashlib.sha1(repr(key).encode()).hexdigest()
         return os.path.join(self.directory, digest + ".pkl")
 
-    def get(self, key: Tuple) -> Optional[Any]:
-        """Cached value for ``key``, or ``None`` on a miss."""
+    def lookup(self, key: Tuple) -> Any:
+        """Cached value for ``key``, or the :data:`MISS` sentinel.
+
+        Prefer this over :meth:`get` for miss detection: ``None`` is a
+        perfectly valid cached value (a sweep point that produced no
+        result), and ``get(...) is None`` silently re-simulates it on
+        every call.
+        """
         if not cache_enabled():
             self.misses += 1
-            return None
+            return MISS
         if key in self._memory:
             self.hits += 1
             return self._memory[key]
@@ -123,9 +156,30 @@ class SimCache:
                     self.hits += 1
                     return value
         self.misses += 1
-        return None
+        return MISS
+
+    def get(self, key: Tuple) -> Optional[Any]:
+        """Cached value for ``key``, or ``None`` on a miss.
+
+        Legacy accessor: a cached ``None`` is indistinguishable from a
+        miss here.  Use :meth:`lookup` (against :data:`MISS`) or
+        :meth:`__contains__` when that matters.
+        """
+        value = self.lookup(key)
+        return None if value is MISS else value
+
+    def __contains__(self, key: Tuple) -> bool:
+        """Whether ``key`` would hit, without counting a hit or a miss."""
+        if not cache_enabled():
+            return False
+        hits, misses = self.hits, self.misses
+        found = self.lookup(key) is not MISS
+        self.hits, self.misses = hits, misses
+        return found
 
     def put(self, key: Tuple, value: Any) -> None:
+        if value is MISS:
+            raise TypeError("MISS is a sentinel, not a cacheable value")
         if not cache_enabled():
             return
         self._memory[key] = value

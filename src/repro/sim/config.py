@@ -21,6 +21,12 @@ def _sanitize_default() -> bool:
         "1", "true", "yes", "on")
 
 
+def _telemetry_default() -> bool:
+    """Telemetry is off unless ``REPRO_TELEMETRY`` enables it globally."""
+    return os.environ.get("REPRO_TELEMETRY", "0").lower() in (
+        "1", "true", "yes", "on")
+
+
 @dataclass(frozen=True)
 class SimConfig:
     """Parameters of one simulation run.
@@ -56,6 +62,20 @@ class SimConfig:
     costs time, so it is off by default; enable per run here, via the
     CLI's ``--sanitize``, or globally with ``REPRO_SANITIZE=1``."""
 
+    telemetry: bool = field(default_factory=_telemetry_default)
+    """Attach a :class:`~repro.telemetry.sampler.Telemetry` sampler to
+    the run (reachable afterwards as ``engine.telemetry``).  Like the
+    sanitizer it is a pure observer — reports stay bit-identical — and
+    when off the engine pays one ``is None`` test per loop iteration.
+    Enable per run here, via the CLI's ``--telemetry``, or globally with
+    ``REPRO_TELEMETRY=1``."""
+
+    telemetry_interval: int = 256
+    """Baseline sampling period of the telemetry layer, in fabric
+    cycles.  Samples are additionally taken at every fast-path clock
+    jump and once at the end of the run, so lowering this only sharpens
+    the *time resolution* of counter tracks, never the run totals."""
+
     txn_timeout_cycles: Optional[int] = None
     """Per-transaction watchdog: a transaction seeing no completion (or
     NACK) within this many cycles of its issue raises a typed
@@ -86,6 +106,8 @@ class SimConfig:
             raise ConfigError("warmup must lie inside the run")
         if self.outstanding < 1:
             raise ConfigError("outstanding must be >= 1")
+        if self.telemetry_interval < 1:
+            raise ConfigError("telemetry_interval must be >= 1")
         if self.txn_timeout_cycles is not None and self.txn_timeout_cycles < 1:
             raise ConfigError("txn_timeout_cycles must be >= 1 (or None)")
         if (self.progress_timeout_cycles is not None

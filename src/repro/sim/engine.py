@@ -46,6 +46,7 @@ from .stats import SimReport, StatsCollector
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..check.sanitizer import Sanitizer
+    from ..telemetry.sampler import Telemetry
 
 #: One cycle's completion batch as handed over by the fabric:
 #: ``(transaction, fabric-time of the last beat)`` pairs.
@@ -110,6 +111,13 @@ class Engine:
         if cfg.sanitize:
             from ..check.sanitizer import Sanitizer
             Sanitizer().attach(self)
+        #: Telemetry sampler, or ``None`` (the default).  Same contract
+        #: as the sanitizer: a pure observer, one ``is None`` test per
+        #: loop iteration when off, bit-identical reports when on.
+        self.telemetry: Optional[Telemetry] = None
+        if cfg.telemetry:
+            from ..telemetry.sampler import Telemetry
+            Telemetry(interval=cfg.telemetry_interval).attach(self)
         self.cycle = 0
         #: Cycles the last :meth:`run` actually stepped (diagnostics; equals
         #: ``config.cycles`` on the legacy path, typically less on the fast
@@ -127,6 +135,8 @@ class Engine:
         masters = self.masters
         if self.sanitizer is not None:
             self.sanitizer.finish()
+        if self.telemetry is not None:
+            self.telemetry.finish(self.cycle)
         self.stats.finalize_dram(fabric.pchs)
         issued = sum(mp.issued for mp in masters)
         completed = sum(mp.completed for mp in masters)
@@ -193,6 +203,7 @@ class Engine:
         injector = self.injector
         dog = self._txn_dog
         pdog = self._progress_dog
+        tele = self.telemetry
         for cycle in range(self.config.cycles):
             self.cycle = cycle
             if injector is not None:
@@ -210,6 +221,8 @@ class Engine:
                 dog.check(cycle)
             if pdog is not None and cycle >= pdog.deadline():
                 pdog.check(cycle, sum(mp.outstanding for mp in masters))
+            if tele is not None and cycle >= tele.next_sample:
+                tele.sample(cycle)
         self.stepped_cycles = self.config.cycles
 
     def _run_fast(self) -> None:
@@ -234,6 +247,7 @@ class Engine:
         injector = self.injector
         dog = self._txn_dog
         pdog = self._progress_dog
+        tele = self.telemetry
         wake: List[float] = [0.0] * len(masters)
         snapshotted = False
         stepped = 0
@@ -263,6 +277,8 @@ class Engine:
                 dog.check(cycle)
             if pdog is not None and cycle >= pdog.deadline():
                 pdog.check(cycle, sum(mp.outstanding for mp in masters))
+            if tele is not None and cycle >= tele.next_sample:
+                tele.sample(cycle)
             nxt = cycle + 1
             horizon = min(wake) if wake else math.inf
             if horizon > nxt:
@@ -293,6 +309,11 @@ class Engine:
                         target = d
                 if target > nxt:
                     nxt = int(min(target, cycles))
+                    if tele is not None:
+                        # Event-horizon hook: snapshot the pre-jump state
+                        # (it persists unchanged across the skipped
+                        # stretch) instead of sampling per skipped cycle.
+                        tele.note_jump(cycle, nxt)
             cycle = nxt
         if not snapshotted:
             # warmup == cycles is rejected by SimConfig, so the snapshot

@@ -33,26 +33,39 @@ def hist_bucket(latency: float) -> int:
 
 
 class OnlineStats:
-    """Welford online mean/variance accumulator."""
+    """Welford online mean/variance accumulator.
 
-    __slots__ = ("count", "_mean", "_m2", "min", "max")
+    With zero samples every statistic reports ``0.0`` — never the
+    ``±inf`` extrema sentinels, which would leak non-JSON ``Infinity``
+    into serialized reports of empty measurement windows.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "_min", "_max")
 
     def __init__(self) -> None:
         self.count = 0
         self._mean = 0.0
         self._m2 = 0.0
-        self.min = math.inf
-        self.max = -math.inf
+        self._min = math.inf
+        self._max = -math.inf
 
     def add(self, x: float) -> None:
         self.count += 1
         delta = x - self._mean
         self._mean += delta / self.count
         self._m2 += delta * (x - self._mean)
-        if x < self.min:
-            self.min = x
-        if x > self.max:
-            self.max = x
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
 
     @property
     def mean(self) -> float:

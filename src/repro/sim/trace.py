@@ -12,10 +12,18 @@ Attach a recorder through the engine::
     rec = TraceRecorder()
     Engine(fabric, sources, cfg, observers=[rec]).run()
     print(rec.latency_percentiles())
+
+**Truncation.** With ``max_records`` set the recorder keeps the *first*
+N completions and counts the rest in :attr:`TraceRecorder.dropped`.
+Every statistical view is then biased toward the start of the run
+(warmup transients, pre-steady-state latencies) — the views still
+compute, but the first one computed from a truncated trace emits a
+``RuntimeWarning`` so the bias never goes unnoticed.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -32,14 +40,21 @@ FIELDS = ("uid", "master", "pch", "addr", "is_read", "burst_len", "issue",
 
 
 class TraceRecorder:
-    """Collects one record per completed transaction."""
+    """Collects one record per completed transaction.
+
+    ``max_records`` caps memory by dropping every completion past the
+    cap (counted in :attr:`dropped`); see the module docstring for the
+    bias this introduces into the views.
+    """
 
     def __init__(self, platform: HbmPlatform = DEFAULT_PLATFORM,
                  max_records: Optional[int] = None) -> None:
         self.platform = platform
         self.max_records = max_records
         self._rows: List[Tuple] = []
+        #: Completions discarded because ``max_records`` was reached.
         self.dropped = 0
+        self._warned_truncated = False
 
     # -- observer interface -----------------------------------------------------
 
@@ -59,8 +74,27 @@ class TraceRecorder:
     def __len__(self) -> int:
         return len(self._rows)
 
+    @property
+    def truncated(self) -> bool:
+        """Whether any completion was dropped at the ``max_records`` cap."""
+        return self.dropped > 0
+
     def as_array(self) -> np.ndarray:
-        """The whole trace as an (N, len(FIELDS)) int64 array."""
+        """The whole trace as an (N, len(FIELDS)) int64 array.
+
+        Warns once (per recorder) when the trace was truncated: a capped
+        trace holds only the run's *first* completions, so any statistic
+        derived from this view is biased toward early, pre-steady-state
+        behavior.
+        """
+        if self.dropped and not self._warned_truncated:
+            self._warned_truncated = True
+            warnings.warn(
+                f"trace was truncated at max_records={self.max_records} "
+                f"({self.dropped} completions dropped); views cover only "
+                f"the first {len(self._rows)} completions and are biased "
+                f"toward the start of the run",
+                RuntimeWarning, stacklevel=2)
         if not self._rows:
             return np.empty((0, len(FIELDS)), dtype=np.int64)
         return np.asarray(self._rows, dtype=np.int64)

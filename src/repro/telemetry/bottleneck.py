@@ -1,0 +1,263 @@
+"""Bottleneck analysis: rank components, attribute lost bandwidth.
+
+Mirrors the decomposition of the paper's Sec. IV-A, which separates the
+reachable bandwidth of a design into three loss mechanisms:
+
+* the **segmented switch** — lateral-bus sharing, arbitration dead
+  cycles, head-of-line blocking;
+* the **DRAM** — page misses, bus turnarounds, refresh, the per-channel
+  AXI port clock;
+* the **masters** — outstanding-credit exhaustion and accelerator-clock
+  issue pacing.
+
+The analysis reads the final telemetry counters of a run, converts each
+mechanism's event counts into an estimated cycle cost (turnarounds and
+refresh have exact per-event costs from the timing model; arbitration
+stalls and credit saturation are counted directly), and normalizes the
+three costs into a *lost-bandwidth attribution*.  The attribution is a
+ranked diagnosis — "where to look first", exactly how the paper uses its
+measurements — not an exact accounting: overlapping stalls are counted
+once per mechanism, so shares are relative pressures, not disjoint
+cycle budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..params import HbmPlatform, gbps
+from .sampler import Telemetry
+
+#: Component utilizations below this are omitted from the ranking table.
+UTIL_FLOOR = 0.005
+
+#: A component this utilized is considered saturated.
+SATURATION = 0.85
+
+
+@dataclass(frozen=True)
+class ComponentUtil:
+    """One ranked row of the utilization table."""
+
+    name: str
+    category: str
+    utilization: float
+    detail: str = ""
+
+
+@dataclass
+class BottleneckAnalysis:
+    """Everything :func:`analyze` derived from one run's telemetry."""
+
+    cycles: int
+    achieved_gbps: float
+    peak_gbps: float
+    verdict: str
+    #: Lost-bandwidth attribution shares by mechanism, summing to 1.0
+    #: (empty when nothing was lost or nothing was attributable).
+    attribution: Dict[str, float] = field(default_factory=dict)
+    #: Components ranked by utilization, highest first.
+    components: List[ComponentUtil] = field(default_factory=list)
+    #: Sampled high-water marks worth surfacing (credit saturation).
+    high_water: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def fraction_of_peak(self) -> float:
+        return self.achieved_gbps / self.peak_gbps if self.peak_gbps else 0.0
+
+
+def analyze(
+    telemetry: Telemetry,
+    platform: HbmPlatform,
+    cycles: int,
+    achieved_gbps: float,
+) -> BottleneckAnalysis:
+    """Analyze one finished, telemetry-attached run."""
+    if telemetry.num_samples == 0:
+        raise ValueError("telemetry holds no samples; was the run executed "
+                         "with the sampler attached?")
+    finals = telemetry.finals()
+    t = platform.dram
+    peak = gbps(platform.device_peak_bytes_per_s)
+
+    # -- per-PCH DRAM utilization and cycle-costed losses ---------------------
+    components: List[ComponentUtil] = []
+    dram_lost_cycles = 0.0
+    turn_cost = (t.t_turnaround_rd_to_wr + t.t_turnaround_wr_to_rd) / 2.0
+    refresh_cost = t.t_rfc_pb if t.per_bank_refresh else t.t_rfc
+    for p in range(platform.num_pch):
+        beats = finals.get(f"dram.pch{p}.beats", 0.0)
+        if beats <= 0.0:
+            continue
+        hits = finals.get(f"dram.pch{p}.page_hits", 0.0)
+        misses = finals.get(f"dram.pch{p}.page_misses", 0.0)
+        conflicts = finals.get(f"dram.pch{p}.page_conflicts", 0.0)
+        turnarounds = finals.get(f"dram.pch{p}.turnarounds", 0.0)
+        refreshes = finals.get(f"dram.pch{p}.refreshes", 0.0)
+        stalls = finals.get(f"dram.pch{p}.port_stalls", 0.0)
+        miss_gaps = finals.get(f"dram.pch{p}.miss_gaps", 0.0)
+        util = min(1.0, beats / cycles) if cycles else 0.0
+        total_acc = hits + misses
+        hit_pct = 100.0 * hits / total_acc if total_acc else 0.0
+        detail = (f"{int(beats)} beats, {hit_pct:.1f}% page hits "
+                  f"({int(conflicts)} conflicts), {int(turnarounds)} "
+                  f"turnarounds, {int(refreshes)} refreshes")
+        if stalls:
+            detail += f", {int(stalls)} port stalls"
+        components.append(ComponentUtil(
+            f"dram.pch{p}.bus", "dram", util, detail))
+        dram_lost_cycles += (turnarounds * turn_cost
+                             + miss_gaps * t.t_miss_gap
+                             + refreshes * refresh_cost)
+
+    # -- interconnect links ---------------------------------------------------
+    switch_stall_cycles = 0.0
+    for probe in telemetry.probes:
+        if probe.category != "link":
+            continue
+        name = probe.name
+        if name.endswith(".occupancy_beats"):
+            beats = finals.get(name, 0.0)
+            if beats <= 0.0:
+                continue
+            util = min(1.0, beats / cycles) if cycles else 0.0
+            stalls = finals.get(
+                name.replace(".occupancy_beats", ".grant_stalls"), 0.0)
+            detail = f"{int(beats)} beats"
+            if stalls:
+                detail += f", {int(stalls)} arbitration-stall cycles"
+            components.append(ComponentUtil(
+                name[:-len(".occupancy_beats")], "link", util, detail))
+        elif name.endswith(".grant_stalls"):
+            switch_stall_cycles += finals.get(name, 0.0)
+
+    # -- masters: credit saturation from the sampled gauge distribution -------
+    engine = telemetry.engine
+    masters = engine.masters if engine is not None else []
+    credit_bound = 0
+    active = 0
+    master_lost_cycles = 0.0
+    high_water: Dict[str, str] = {}
+    for mp in masters:
+        if mp.issued == 0:
+            continue
+        active += 1
+        name = f"master[{mp.index}].credits_in_use"
+        try:
+            idx = telemetry.index_of(name)
+        except KeyError:  # pragma: no cover - masters are always probed
+            continue
+        hwm = telemetry.high_water[idx]
+        limit = mp.outstanding_limit
+        if hwm >= limit:
+            credit_bound += 1
+            high_water[name] = f"{int(hwm)}/{limit} (saturated)"
+        hist = telemetry.hists[idx]
+        if hist is not None and hist.total:
+            at_limit = sum(c for lo, hi, c in hist.nonzero() if lo >= limit)
+            master_lost_cycles += cycles * at_limit / hist.total
+        util = hwm / limit if limit else 0.0
+        components.append(ComponentUtil(
+            f"master[{mp.index}].credits", "master", min(1.0, util),
+            f"high-water {int(hwm)}/{limit}, {mp.issued} issued"))
+
+    components.sort(key=lambda c: (-c.utilization, c.name))
+    components = [c for c in components if c.utilization >= UTIL_FLOOR]
+
+    # -- verdict and attribution ----------------------------------------------
+    dram_max = max((c.utilization for c in components if c.category == "dram"),
+                   default=0.0)
+    link_max = max((c.utilization for c in components if c.category == "link"),
+                   default=0.0)
+    credit_frac = credit_bound / active if active else 0.0
+    if link_max >= SATURATION and link_max >= dram_max:
+        verdict = ("switch-limited: a lateral link is saturated "
+                   f"({100 * link_max:.0f}% occupied)")
+    elif dram_max >= SATURATION:
+        verdict = ("DRAM-limited: a pseudo-channel data bus is saturated "
+                   f"({100 * dram_max:.0f}% occupied)")
+    elif credit_frac >= 0.5:
+        verdict = ("master-limited: outstanding credits saturate on "
+                   f"{credit_bound}/{active} active masters")
+    else:
+        verdict = ("below every modeled ceiling (workload-limited or "
+                   "latency-bound)")
+
+    attribution: Dict[str, float] = {}
+    pressures = {
+        "dram": dram_lost_cycles,
+        "switch": switch_stall_cycles,
+        "master": master_lost_cycles,
+    }
+    total_pressure = sum(pressures.values())
+    if achieved_gbps < peak and total_pressure > 0.0:
+        attribution = {k: v / total_pressure for k, v in pressures.items()}
+
+    return BottleneckAnalysis(
+        cycles=cycles,
+        achieved_gbps=achieved_gbps,
+        peak_gbps=peak,
+        verdict=verdict,
+        attribution=attribution,
+        components=components,
+        high_water=high_water,
+    )
+
+
+#: Attribution mechanism labels, in report order.
+_MECHANISMS: Tuple[Tuple[str, str], ...] = (
+    ("switch", "switch (lateral sharing / arbitration)"),
+    ("dram", "DRAM (turnaround / page / refresh)"),
+    ("master", "master (credits / pacing)"),
+)
+
+
+def format_report(analysis: BottleneckAnalysis, top: int = 8) -> str:
+    """Human-readable bottleneck report (deterministic, golden-testable)."""
+    a = analysis
+    lines = [
+        f"  achieved  : {a.achieved_gbps:7.2f} GB/s of "
+        f"{a.peak_gbps:.1f} GB/s device peak ({100 * a.fraction_of_peak:.1f}%)",
+        f"  verdict   : {a.verdict}",
+    ]
+    if a.attribution:
+        lines.append("  lost-bandwidth attribution (relative pressure, "
+                     "cycle-costed):")
+        for key, label in _MECHANISMS:
+            share = a.attribution.get(key, 0.0)
+            lines.append(f"    {label:<42}: {100 * share:5.1f}%")
+    lines.append(f"  top components by utilization "
+                 f"(of {len(a.components)} active, per category):")
+    per_cat = max(1, top // 3)
+    for cat in ("dram", "link", "master", "fabric"):
+        rows = [c for c in a.components if c.category == cat]
+        for c in rows[:per_cat]:
+            lines.append(f"    {c.name:<28} {100 * c.utilization:5.1f}%  "
+                         f"[{c.category}]  {c.detail}")
+        if len(rows) > per_cat:
+            lines.append(f"    ... and {len(rows) - per_cat} more "
+                         f"[{cat}] components")
+    if len(a.high_water) > 6:
+        lines.append(f"  credit saturation: {len(a.high_water)} masters hit "
+                     f"their outstanding-credit ceiling")
+    elif a.high_water:
+        lines.append("  saturated credit high-water marks:")
+        for name in sorted(a.high_water):
+            lines.append(f"    {name}: {a.high_water[name]}")
+    return "\n".join(lines)
+
+
+def bottleneck_report(telemetry: Telemetry, report, platform=None,
+                      top: int = 8) -> str:
+    """Convenience wrapper: analyze + format from a finished run.
+
+    ``report`` is the run's :class:`~repro.sim.stats.SimReport`;
+    ``platform`` defaults to the attached engine's fabric platform.
+    """
+    if platform is None:
+        if telemetry.engine is None:
+            raise ValueError("telemetry is unattached; pass platform=")
+        platform = telemetry.engine.fabric.platform
+    analysis = analyze(telemetry, platform, report.cycles, report.total_gbps)
+    return format_report(analysis, top=top)

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.accelerators",
     "repro.experiments",
     "repro.faults",
+    "repro.telemetry",
 ]
 
 MODULES = [
@@ -42,6 +43,7 @@ MODULES = [
     "repro.experiments.chaos",
     "repro.faults.chaos",
     "repro.faults.watchdog",
+    "repro.telemetry.profile",
     "repro.__main__",
 ]
 

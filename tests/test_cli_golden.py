@@ -51,6 +51,11 @@ CASES = {
         "chaos", "--scenario", "pch-offline", "--cycles", "2000"],
     "chaos_pch_offline_strict.txt": [
         "chaos", "--scenario", "pch-offline-strict", "--cycles", "2000"],
+    # The profiler simulates deterministically (seeded traffic, no
+    # wall-clock anywhere in the summary), so the whole bottleneck
+    # report — attribution shares included — pins as a golden file.
+    "profile_fig2.txt": [
+        "profile", "fig2", "--cycles", "2000"],
     # The static analyzer is deterministic by construction (sorted
     # findings, fixed LCG probes), so its reports pin cleanly too.
     "check_all.txt": ["check", "--all"],

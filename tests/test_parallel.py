@@ -38,10 +38,15 @@ class TestParallelSweep:
     def test_default_workers_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert default_workers() == 3
-        monkeypatch.setenv("REPRO_WORKERS", "bogus")
-        assert default_workers() >= 1
         monkeypatch.delenv("REPRO_WORKERS")
         assert default_workers() >= 1
+
+    def test_default_workers_warns_on_invalid_env(self, monkeypatch):
+        """A typo'd REPRO_WORKERS must not be silently swallowed — the
+        warning names the bad value so the user can fix it."""
+        monkeypatch.setenv("REPRO_WORKERS", "bogus")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS='bogus'"):
+            assert default_workers() >= 1
 
     def test_fig3_sweep_parallel_matches_serial(self):
         """Determinism across execution strategies."""

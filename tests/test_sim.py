@@ -49,6 +49,21 @@ class TestOnlineStats:
         assert s.mean == 0.0
         assert s.std == 0.0
 
+    def test_empty_min_max_are_json_safe(self):
+        """Regression: an empty window reported min=inf / max=-inf,
+        leaking non-JSON ``Infinity`` into serialized reports."""
+        import json
+        s = OnlineStats()
+        assert s.min == 0.0 and s.max == 0.0
+        summary = LatencySummary.from_online(s)
+        # allow_nan=False raises on inf/nan — strict JSON must round-trip.
+        json.dumps({"min": s.min, "max": s.max,
+                    "summary": summary.__dict__}, allow_nan=False)
+        # Extrema tracking still works once samples arrive.
+        s.add(5.0)
+        s.add(3.0)
+        assert s.min == 3.0 and s.max == 5.0
+
     def test_single_sample(self):
         s = OnlineStats()
         s.add(42.0)

@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.params import DEFAULT_PLATFORM, HbmPlatform
-from repro.sim.cache import MODEL_VERSION, SimCache, cache_enabled, sweep_key
+from repro.sim.cache import (MISS, MODEL_VERSION, SimCache, cache_enabled,
+                             sweep_key)
 from repro.types import FabricKind, Pattern, TWO_TO_ONE, READ_ONLY
 
 
@@ -116,6 +117,93 @@ def test_fast_path_toggle_changes_key(monkeypatch):
     monkeypatch.setenv("REPRO_FAST_PATH", "0")
     k_legacy = sweep_key("x", DEFAULT_PLATFORM, a=1)
     assert k_fast != k_legacy
+
+
+def test_observer_toggles_change_key(monkeypatch):
+    """The sanitize/telemetry switches key the cache like fast_path does."""
+    base = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    k_san = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    monkeypatch.delenv("REPRO_SANITIZE")
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    k_tel = sweep_key("x", DEFAULT_PLATFORM, a=1)
+    assert len({base, k_san, k_tel}) == 3
+
+
+class TestMissSentinel:
+    """Regression: ``get(k) is None`` treated a cached None as a miss."""
+
+    def test_lookup_returns_miss_not_none(self):
+        c = SimCache()
+        key = sweep_key("x", DEFAULT_PLATFORM, a=1)
+        assert c.lookup(key) is MISS
+        c.put(key, None)  # None is a legitimate cached value
+        assert c.lookup(key) is None  # hit!
+        assert c.hits == 1 and c.misses == 1
+
+    def test_miss_is_falsy_and_not_cacheable(self):
+        assert not MISS
+        assert repr(MISS) == "MISS"
+        c = SimCache()
+        with pytest.raises(TypeError):
+            c.put(("k",), MISS)
+
+    def test_contains_does_not_count(self):
+        c = SimCache()
+        key = sweep_key("x", DEFAULT_PLATFORM, a=1)
+        assert key not in c
+        c.put(key, 5)
+        assert key in c
+        assert c.hits == 0 and c.misses == 0
+
+    def test_parallel_sweep_cached_none_not_recomputed(self):
+        """Regression: a point whose result is None must hit, not
+        silently re-simulate on every sweep."""
+        from repro.experiments.parallel import parallel_sweep
+
+        cache = SimCache()
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return None  # e.g. a sweep point with nothing to report
+
+        def key_fn(x):
+            return sweep_key("unit-none", DEFAULT_PLATFORM, x=x)
+
+        assert parallel_sweep(fn, [1, 2], workers=1, cache=cache,
+                              key_fn=key_fn) == [None, None]
+        assert parallel_sweep(fn, [1, 2], workers=1, cache=cache,
+                              key_fn=key_fn) == [None, None]
+        assert calls == [1, 2]  # second sweep never re-ran the points
+
+
+def test_measure_faulted_never_collides_with_fault_free_twin(small_platform):
+    """Regression guard: the same sweep point with and without a fault
+    plan must occupy distinct cache entries."""
+    from repro.experiments._common import measure
+    from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+    from repro.traffic import make_pattern_sources
+
+    cache = SimCache()
+    key = sweep_key("pattern-sim", small_platform, fabric=FabricKind.XLNX,
+                    pattern=Pattern.SCS, burst_len=8, rw=TWO_TO_ONE, seed=0)
+    plan = FaultPlan([FaultEvent(FaultKind.PCH_SLOW, at=300, pch=1,
+                                 duration=400, factor=3.0)], seed=0)
+
+    def one_run(faults):
+        sources = make_pattern_sources(Pattern.SCS, small_platform,
+                                       burst_len=8)
+        return measure(FabricKind.XLNX, sources, cycles=1200,
+                       platform=small_platform, cache_key=key, cache=cache,
+                       faults=faults)
+
+    clean = one_run(None)
+    faulted = one_run(plan)
+    assert faulted is not clean          # distinct entries, both simulated
+    assert cache.misses == 2 and cache.hits == 0
+    assert one_run(plan) is faulted      # and each twin hits its own entry
+    assert cache.hits == 1
 
 
 def test_measure_uses_cache(small_platform):

@@ -65,6 +65,31 @@ class TestTraceRecorder:
         rec = _run(max_records=50)
         assert len(rec) == 50
         assert rec.dropped > 0
+        assert rec.truncated
+
+    def test_truncated_views_warn_once(self):
+        """Regression: a capped trace silently biased every statistical
+        view toward the start of the run; the first view computed from a
+        truncated trace must say so (and only the first — the warning
+        is once per recorder, not per view)."""
+        import warnings
+
+        rec = _run(max_records=50)
+        with pytest.warns(RuntimeWarning, match="truncated at "
+                          "max_records=50"):
+            rec.latency_percentiles()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            rec.per_pch_bytes()  # second view: no repeat warning
+
+    def test_untruncated_views_do_not_warn(self):
+        import warnings
+
+        rec = _run()
+        assert not rec.truncated
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            rec.latency_percentiles()
 
     def test_fault_free_run_has_clean_status(self):
         rec = _run()

@@ -96,6 +96,24 @@ def test_step8_chaos():
     assert report.unrecoverable == 0
 
 
+def test_step10_profile():
+    from repro import make_fabric
+    from repro.sim import Engine, SimConfig
+    from repro.telemetry import Telemetry, bottleneck_report
+    from repro.traffic import make_pattern_sources
+    from repro.types import FabricKind, Pattern
+    fabric = make_fabric(FabricKind.XLNX)
+    sources = make_pattern_sources(Pattern.SCS,
+                                   address_map=fabric.address_map)
+    tele = Telemetry(interval=200)
+    engine = Engine(fabric, sources, SimConfig(cycles=2000, warmup=500))
+    tele.attach(engine)
+    report = engine.run()
+    text = bottleneck_report(tele, report)
+    assert "verdict" in text
+    assert len(tele.series("master[0].credits_in_use")) == tele.num_samples
+
+
 def test_appendix_spmv():
     from repro import make_fabric
     from repro.accelerators import make_spmv_sources
