@@ -1,0 +1,61 @@
+"""Model-based conformance fuzzing over timing, fault, and fabric spaces.
+
+The hand-written differential grids cover a handful of configurations;
+this package explores the *combinatorial* space around them (see
+DESIGN.md §9):
+
+* :mod:`repro.conformance.space` — :class:`ParamSpace`: exhaustive
+  enumeration for small core dimensions, seeded pairwise covering
+  arrays for broad ones, with a provable 2-way coverage guarantee.
+* :mod:`repro.conformance.case` — :class:`FuzzCase`: one sampled
+  configuration materialized into platform / fabric / traffic /
+  ``SimConfig`` / ``FaultPlan``, JSON round-trippable for the corpus.
+* :mod:`repro.conformance.reference` — the analytical reference model:
+  closed-form predictions (physics and roofline bandwidth ceilings,
+  attempt conservation, expected NACK/ECC/abort behaviour under the
+  sampled fault plan, termination budgets) checked against real runs.
+* :mod:`repro.conformance.driver` — the fuzz driver: every sampled
+  config runs on both engine loops with the sanitizer armed, is diffed
+  bit-exactly, and is checked against the reference model; failures
+  auto-minimize by greedy dimension shrinking.
+* :mod:`repro.conformance.corpus` — replayable minimized-failure store
+  under ``tests/corpus/`` (regression-tested in tier-1).
+
+CLI: ``repro-hbm fuzz [--budget N] [--seed S] [--replay-corpus]``.
+"""
+
+from .case import FAULT_KEYS, FuzzCase, PLATFORMS, build_fault_plan
+from .corpus import (default_corpus_dir, list_entries, load_entry, replay,
+                     write_entry)
+from .driver import (BROAD_DIMS, CORE_DIMS, CampaignReport, CaseResult,
+                     Failure, campaign_cases, run_campaign, run_case, shrink)
+from .reference import Outcome, Prediction, check, predict
+from .space import ParamSpace, covers_all_pairs, missing_pairs
+
+__all__ = [
+    "FAULT_KEYS",
+    "FuzzCase",
+    "PLATFORMS",
+    "build_fault_plan",
+    "default_corpus_dir",
+    "list_entries",
+    "load_entry",
+    "replay",
+    "write_entry",
+    "BROAD_DIMS",
+    "CORE_DIMS",
+    "CampaignReport",
+    "CaseResult",
+    "Failure",
+    "campaign_cases",
+    "run_campaign",
+    "run_case",
+    "shrink",
+    "Outcome",
+    "Prediction",
+    "check",
+    "predict",
+    "ParamSpace",
+    "covers_all_pairs",
+    "missing_pairs",
+]

@@ -1,0 +1,313 @@
+"""The conformance fuzz driver: sample → run → oracle → shrink.
+
+For every sampled configuration the driver runs the *real* engine twice
+— fast path and legacy per-cycle loop, both with the runtime sanitizer
+armed and both watchdogs set — drains, and then applies three stacked
+oracles:
+
+1. the sanitizer (AXI ordering, conservation ledgers, credit leaks,
+   DRAM bank legality) raising typed :class:`SanitizerError`\\ s,
+2. a bit-exactness diff between the two loops' reports and post-drain
+   counters,
+3. the analytical reference model (:mod:`repro.conformance.reference`).
+
+A failing case is auto-minimized by greedy dimension shrinking (walk
+every dimension toward its most benign value while the same failure
+kind persists) and written to the replayable corpus
+(:mod:`repro.conformance.corpus`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..check.static import quick_check
+from ..errors import ConfigError, FaultError, SanitizerError, SimulationError
+from ..sim import Engine
+from .case import FuzzCase, FAULT_KEYS
+from .reference import Outcome, Prediction, check, predict
+from .space import ParamSpace
+
+#: The exhaustive core space: every fabric x pattern combination at the
+#: paper's default knobs.  Small enough to enumerate fully, and the axis
+#: pair where interaction bugs are most likely to hide.
+CORE_DIMS = {
+    "fabric": ("ideal", "xlnx", "mao"),
+    "pattern": ("SCS", "CCS", "SCRA", "CCRA"),
+    "rw": ("2:1",),
+    "burst_len": (8,),
+    "outstanding": (32,),
+    "cycles": (1200,),
+    "warmup_div": (4,),
+    "fault": ("none",),
+    "platform": ("small",),
+}
+
+#: The broad space, sampled pairwise.  Dimension values are ordered most
+#: benign first — the shrinker walks each dimension toward index 0.
+BROAD_DIMS = {
+    "fabric": ("ideal", "xlnx", "mao"),
+    "pattern": ("SCS", "CCS", "SCRA", "CCRA"),
+    "rw": ("2:1", "1:0", "0:1", "1:1"),
+    "burst_len": (8, 16, 4, 1),
+    "outstanding": (32, 8, 4, 1),
+    "cycles": (1200, 900, 2100),
+    "warmup_div": (4, 6, 3),
+    "fault": FAULT_KEYS,
+    "platform": ("small", "wide"),
+}
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One conformance finding on one case."""
+
+    kind: str
+    """``sanitizer`` / ``engine-diff`` / ``prediction`` / ``termination``
+    / ``error`` — the shrinker preserves this while minimizing."""
+
+    detail: str
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Outcome of one case under the full oracle stack."""
+
+    case: FuzzCase
+    failures: Tuple[Failure, ...] = ()
+    skipped: str = ""
+    """Non-empty when static pre-validation rejected the config (not a
+    finding: the analyzer is *supposed* to reject impossible configs)."""
+
+    total_gbps: float = 0.0
+    abort: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _one_loop(case: FuzzCase, fast_path: bool) -> Outcome:
+    """Run one engine loop of ``case`` to a drained end state."""
+    fabric, sources = case.build()
+    engine = Engine(fabric, sources, case.sim_config(fast_path=fast_path),
+                    faults=case.fault_plan() or None)
+    try:
+        report = engine.run()
+        drain_cycles = engine.drain(max_cycles=case.drain_budget)
+    except FaultError as exc:
+        return Outcome(report=None, abort=type(exc).__name__,
+                       drain_cycles=0, totals=_totals(engine))
+    return Outcome(report=report, abort="", drain_cycles=drain_cycles,
+                   totals=_totals(engine))
+
+
+def _totals(engine: Engine) -> Tuple[int, int, int, int, int]:
+    mps = engine.masters
+    return (sum(mp.issued for mp in mps),
+            sum(mp.completed for mp in mps),
+            sum(mp.nacks for mp in mps),
+            sum(mp.retries for mp in mps),
+            sum(mp.unrecoverable for mp in mps))
+
+
+def _diff_outcomes(fast: Outcome, legacy: Outcome) -> List[str]:
+    """Bit-exactness diff between the two engine loops."""
+    diffs: List[str] = []
+    if fast.abort != legacy.abort:
+        diffs.append(f"abort differs: fast={fast.abort or 'completed'!r} "
+                     f"legacy={legacy.abort or 'completed'!r}")
+        return diffs
+    if fast.totals != legacy.totals:
+        diffs.append(f"post-drain counters differ: fast={fast.totals} "
+                     f"legacy={legacy.totals}")
+    if fast.report != legacy.report:
+        diffs.append("SimReport differs between fast and legacy loops")
+    return diffs
+
+
+def run_case(case: FuzzCase) -> CaseResult:
+    """One case through static pre-validation and the full oracle stack."""
+    try:
+        fabric, _ = case.build()
+        quick_check(fabric, case.sim_config())
+    except ConfigError as exc:
+        return CaseResult(case=case, skipped=str(exc))
+
+    pred = predict(case)
+    failures: List[Failure] = []
+    try:
+        fast = _one_loop(case, fast_path=True)
+        legacy = _one_loop(case, fast_path=False)
+    except SanitizerError as exc:
+        return CaseResult(case=case, failures=(
+            Failure("sanitizer", f"{type(exc).__name__}: {exc}"),))
+    except SimulationError as exc:
+        return CaseResult(case=case, failures=(
+            Failure("termination", f"{type(exc).__name__}: {exc}"),))
+    except Exception as exc:  # noqa: BLE001 — a crash is a finding too
+        return CaseResult(case=case, failures=(
+            Failure("error", f"{type(exc).__name__}: {exc}"),))
+
+    for diff in _diff_outcomes(fast, legacy):
+        failures.append(Failure("engine-diff", diff))
+    for violation in check(case, pred, fast):
+        failures.append(Failure("prediction", violation))
+    rep = fast.report
+    return CaseResult(
+        case=case,
+        failures=tuple(failures),
+        total_gbps=rep.total_gbps if rep is not None else 0.0,
+        abort=fast.abort,
+    )
+
+
+# -- shrinking ---------------------------------------------------------------
+
+#: Hard cap on shrink re-runs per failing case (each re-run simulates
+#: both loops, so minimization cost stays bounded).
+MAX_SHRINK_RUNS = 64
+
+
+def _fails_like(case: FuzzCase, kinds: Sequence[str]) -> bool:
+    result = run_case(case)
+    return any(f.kind in kinds for f in result.failures)
+
+
+def shrink(case: FuzzCase, dims: Optional[Dict[str, tuple]] = None,
+           ) -> Tuple[FuzzCase, int]:
+    """Greedy dimension shrinking toward a minimal failing config.
+
+    Walks every dimension (in :data:`BROAD_DIMS` order) toward its most
+    benign value — index 0 of the dimension tuple — keeping each move
+    only when a failure of the *same kind* persists, and iterates to a
+    fixpoint.  Returns the minimized case and the number of verification
+    runs spent.  The result is guaranteed to still fail.
+    """
+    dims = dict(BROAD_DIMS if dims is None else dims)
+    baseline = run_case(case)
+    kinds = sorted({f.kind for f in baseline.failures})
+    if not kinds:
+        raise ConfigError("shrink() needs a failing case")
+    sample = case.to_sample()
+    runs = 0
+    changed = True
+    while changed and runs < MAX_SHRINK_RUNS:
+        changed = False
+        for name, values in dims.items():
+            if name not in sample or sample[name] not in values:
+                continue
+            idx = values.index(sample[name])
+            # Try increasingly benign values, most benign first.
+            for cand_idx in range(idx):
+                if runs >= MAX_SHRINK_RUNS:
+                    break
+                trial = dict(sample)
+                trial[name] = values[cand_idx]
+                runs += 1
+                if _fails_like(FuzzCase.from_sample(trial, seed=case.seed),
+                               kinds):
+                    sample = trial
+                    changed = True
+                    break
+    return FuzzCase.from_sample(sample, seed=case.seed), runs
+
+
+# -- campaigns ---------------------------------------------------------------
+
+
+@dataclass
+class CampaignReport:
+    """Everything one fuzz campaign did."""
+
+    seed: int
+    budget: int
+    results: List[CaseResult] = field(default_factory=list)
+    minimized: List[Tuple[CaseResult, FuzzCase]] = field(default_factory=list)
+    corpus_written: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[CaseResult]:
+        return [r for r in self.results if not r.ok and not r.skipped]
+
+    @property
+    def skipped(self) -> List[CaseResult]:
+        return [r for r in self.results if r.skipped]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        ran = len(self.results) - len(self.skipped)
+        lines = [
+            f"conformance fuzz: seed {self.seed}, budget {self.budget} -> "
+            f"{ran} configs run, {len(self.skipped)} statically rejected, "
+            f"{len(self.failures)} failing",
+        ]
+        for r in self.failures:
+            lines.append(f"  FAIL {r.case.label()}")
+            for f in r.failures:
+                lines.append(f"       [{f.kind}] {f.detail}")
+        for original, minimal in self.minimized:
+            lines.append(f"  minimized {original.case.label()} -> "
+                         f"{minimal.label()}")
+        for path in self.corpus_written:
+            lines.append(f"  corpus entry written: {path}")
+        if self.ok:
+            lines.append("  all reference-model predictions satisfied; "
+                         "fast/legacy loops bit-identical on every config")
+        return "\n".join(lines)
+
+
+def campaign_cases(budget: int, seed: int) -> List[FuzzCase]:
+    """The deterministic case list of a ``(budget, seed)`` campaign.
+
+    The exhaustive core space runs first, then the pairwise broad space.
+    A budget beyond one sweep wraps around with a bumped traffic seed
+    (same configs, fresh stimulus), so arbitrarily large budgets stay
+    meaningful.
+    """
+    if budget < 1:
+        raise ConfigError("budget must be >= 1")
+    samples = ParamSpace.iter_unique([
+        ParamSpace(CORE_DIMS, mode="full"),
+        ParamSpace(BROAD_DIMS, mode="pairwise", seed=seed),
+    ])
+    cases: List[FuzzCase] = []
+    for i in range(budget):
+        sweep, idx = divmod(i, len(samples))
+        cases.append(FuzzCase.from_sample(samples[idx],
+                                          seed=seed + 1000 * sweep))
+    return cases
+
+
+def run_campaign(budget: int = 200, seed: int = 0, *, minimize: bool = True,
+                 corpus_dir: Optional[str] = None,
+                 progress=None) -> CampaignReport:
+    """Run a seeded fuzz campaign; optionally minimize and persist
+    failures into the corpus directory."""
+    from . import corpus as corpus_mod
+    report = CampaignReport(seed=seed, budget=budget)
+    for case in campaign_cases(budget, seed):
+        result = run_case(case)
+        report.results.append(result)
+        if progress is not None:
+            progress(result)
+        if result.ok or result.skipped:
+            continue
+        if minimize:
+            minimal, _runs = shrink(case)
+            report.minimized.append((result, minimal))
+            target = minimal
+        else:
+            target = case
+        if corpus_dir is not None:
+            minimal_result = run_case(target)
+            path = corpus_mod.write_entry(
+                corpus_dir, target,
+                minimal_result.failures or result.failures,
+                seed=seed, budget=budget)
+            report.corpus_written.append(path)
+    return report

@@ -1,0 +1,307 @@
+"""The analytical reference model of the conformance fuzzer.
+
+Model-based testing needs an oracle that is *independent* of the engine
+under test.  A second cycle simulator would just share the bugs; instead
+the reference model predicts **coarse invariants** any correct run of a
+sampled config must satisfy, from closed-form reasoning alone:
+
+* **Physics** — measured-window DRAM traffic cannot exceed one beat per
+  pseudo-channel per fabric cycle, and per-direction traffic cannot
+  exceed what the accelerator-clocked master ports can supply.  These
+  are exact bounds with no modeling slack.
+* **Roofline** — fault-free throughput must stay below the
+  :class:`~repro.core.estimator.BandwidthEstimator` ceiling (the memory
+  roof of the paper's roofline methodology) times a small tolerance.
+  The estimator derates for refresh and turnaround but not for
+  contention, so the cycle simulator sitting *above* it means double
+  counting somewhere in the model.
+* **Conservation** — after the post-run drain every attempt is
+  accounted for: ``issued + retries == completed + nacks`` (fresh
+  issues plus re-issues each end in exactly one success or one failed
+  completion) and ``nacks == retries + unrecoverable`` (every failure
+  either re-issues or abandons), with zero recovery traffic on
+  fault-free runs.
+* **Fault response** — the sampled fault plan implies observable
+  behaviour: a degraded channel loss must surface NACKs (when the
+  pattern provably routes traffic at the dead channel) and leave the
+  channel in ``dead_pchs``; an un-degraded loss must trip a watchdog
+  (when traffic provably reaches it) rather than hang or silently pass;
+  a device-wide corruption window over read traffic must produce ECC
+  events.
+* **Termination** — the run completes and drains inside an explicit
+  cycle budget; anything else is a lost transaction or livelock.
+
+Every prediction errs on the side of *certainty*: the model only claims
+what must hold for **every** correct engine, so a violation is a real
+finding, never oracle noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.estimator import BandwidthEstimator, EstimateInputs
+from ..faults.plan import FaultKind, FaultPlan
+from ..params import gbps
+from ..sim.stats import SimReport
+from ..types import FabricKind, Pattern
+from .case import FuzzCase
+
+#: Tolerance on the estimator-based roofline ceiling.  The estimator is
+#: a deration model, not a cycle model: boundary effects (transactions
+#: counted whole at the window edges, integer pacing) let a correct run
+#: sit a few percent above it on short horizons.
+ROOFLINE_MARGIN = 1.15
+ROOFLINE_SLACK_GBPS = 1.0
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """What the reference model claims about one case's outcome."""
+
+    #: Hard physical ceiling on measured-window throughput (GB/s).
+    physics_gbps: float
+    #: Per-direction port-supply ceiling (GB/s); read and write each.
+    port_dir_gbps: float
+    #: Roofline (estimator) ceiling incl. margin; ``None`` when the run
+    #: is faulted (faults only lower throughput, but the margin math is
+    #: only claimed for clean runs).
+    roofline_gbps: Optional[float]
+    #: Channels that must be dead at end of run (completed runs only).
+    dead_pchs: Tuple[int, ...]
+    #: NACKs must be observed (pattern provably hits a lost channel).
+    expect_nacks: bool
+    #: ECC events (corrected + uncorrectable) must be observed.
+    expect_ecc: bool
+    #: A FaultError abort is an acceptable outcome.
+    may_abort: bool
+    #: A FaultError abort is the *only* acceptable outcome.
+    must_abort: bool
+    #: If no recovery traffic can exist, these must all be zero.
+    fault_free: bool
+    #: Drain must finish within this many cycles.
+    drain_budget: int
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+
+def _targets_pch(case: FuzzCase, pch: int) -> bool:
+    """Whether the case's traffic *provably* keeps hitting ``pch``.
+
+    Single-channel patterns pin master ``m`` to PCH ``m`` (one master
+    per channel on both fuzz platforms), so channel ``pch`` sees a
+    steady stream iff a master with that index exists.  Device-wide
+    random traffic hits every channel with near-certainty over thousands
+    of transactions.  Cross-channel *strided* traffic under the vendor's
+    contiguous map concentrates on a data-dependent hot-spot — no claim.
+    """
+    platform = case.platform
+    if case.pattern.is_single_channel:
+        return pch < platform.num_masters and pch < platform.num_pch
+    if case.pattern is Pattern.CCRA:
+        return pch < platform.num_pch
+    return False
+
+
+def _nacks_certain(case: FuzzCase, pch: int) -> bool:
+    """Whether a *degraded* loss of ``pch`` must surface NACKs.
+
+    Degradation remaps all traffic issued after the fault, so the only
+    guaranteed NACK source is work queued for the dead channel at the
+    onset instant.  That is provable only when the channel's feed is
+    pinned and saturated: a single-channel pattern (master ``pch``
+    streams at its own channel forever), enough credits that the issue
+    pipeline never runs dry (DRAM round trips exceed the pacing interval
+    several times over at depth >= 8), and a contended fabric — the
+    ideal crossbar's service time can beat the credit loop, leaving
+    in-flight queues legitimately empty at any given cycle.
+    """
+    return (case.pattern.is_single_channel
+            and _targets_pch(case, pch)
+            and case.outstanding >= 8
+            and case.fabric is not FabricKind.IDEAL)
+
+
+def _unstalled_span(start: int, end: int,
+                    stalls: List[Tuple[int, int]]) -> int:
+    """Length of ``[start, end)`` not covered by any stall interval."""
+    uncovered = end - start
+    for s, e in sorted(stalls):
+        lo, hi = max(start, s), min(end, e)
+        if hi > lo:
+            uncovered -= hi - lo
+    return uncovered
+
+
+def predict(case: FuzzCase) -> Prediction:
+    """Run the reference model over one sampled configuration."""
+    platform = case.platform
+    plan = case.fault_plan()
+    measured = case.cycles - case.warmup
+    notes: List[str] = []
+
+    # -- physics: one beat per PCH per fabric cycle, shared by both
+    # directions at the DRAM; per direction, the accelerator-clocked
+    # ports bound the supply.
+    physics_gbps = gbps(platform.num_pch * platform.bytes_per_beat
+                        * platform.fabric_clock_hz)
+    port_dir_gbps = gbps(platform.num_masters * platform.bytes_per_beat
+                         * platform.accel_clock_hz)
+
+    # -- roofline ceiling (clean runs only).
+    roofline: Optional[float] = None
+    if not plan.events:
+        est = BandwidthEstimator(platform).estimate(EstimateInputs(
+            fabric=case.fabric,
+            pattern=case.pattern,
+            rw=case.rw,
+            burst_len=case.burst_len,
+            outstanding=case.outstanding,
+        ))
+        ceiling = est.total_gbps
+        if (case.fabric is FabricKind.XLNX and case.pattern is Pattern.CCS
+                and not (case.rw.read_only or case.rw.write_only)):
+            # The estimator's single-hot-spot assumption (Nch_eff = 1
+            # for contiguous cross-channel strided data) undercounts the
+            # simulator's CCS placement: reads and writes stream through
+            # *disjoint halves* of the space, i.e. two simultaneous
+            # hot-spot channels under mixed traffic.  The oracle claims
+            # an upper bound, so it takes the two-channel ceiling.
+            ceiling *= 2.0
+            notes.append("xlnx/CCS mixed: two disjoint hot-spots, "
+                         "ceiling doubled")
+        roofline = ROOFLINE_MARGIN * ceiling + ROOFLINE_SLACK_GBPS
+        notes.append(f"estimator ceiling {est.total_gbps:.1f} GB/s "
+                     f"({est.bottleneck})")
+
+    # -- fault response.
+    offline = [e for e in plan.events
+               if e.kind is FaultKind.PCH_OFFLINE and e.at < case.cycles]
+    corrupt = [e for e in plan.events
+               if e.kind is FaultKind.DATA_CORRUPT and e.at < case.cycles]
+    dead = tuple(e.pch for e in offline)
+    hits_dead = any(_targets_pch(case, e.pch) for e in offline)
+
+    must_abort = bool(offline) and not plan.degrade and hits_dead
+    may_abort = bool(offline) and not plan.degrade
+    expect_nacks = (bool(offline) and plan.degrade
+                    and any(_nacks_certain(case, e.pch) for e in offline))
+
+    # A device-wide corruption window over steady read traffic flips
+    # beats with near-certainty: expected events ~ rate x read-beats in
+    # the window, which is >> 1 for every space point that satisfies the
+    # guards below.  A device-wide link stall suppresses the traffic the
+    # window needs, so only the *unstalled* part of the window counts.
+    stalls = [(e.at, e.at + e.duration) for e in plan.events
+              if e.kind is FaultKind.LINK_STALL and e.cut is None]
+    min_window = max(1, case.cycles // 8)
+    expect_ecc = any(
+        e.pch is None and e.rate >= 0.02
+        and _unstalled_span(e.at, e.at + e.duration, stalls) >= min_window
+        for e in corrupt) and case.rw.reads > 0
+
+    return Prediction(
+        physics_gbps=physics_gbps,
+        port_dir_gbps=port_dir_gbps,
+        roofline_gbps=roofline,
+        dead_pchs=dead,
+        expect_nacks=expect_nacks,
+        expect_ecc=expect_ecc,
+        may_abort=may_abort,
+        must_abort=must_abort,
+        fault_free=not plan.events,
+        drain_budget=case.drain_budget,
+        notes=tuple(notes),
+    )
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What actually happened when the driver ran a case (one loop)."""
+
+    #: Report of the completed run, or ``None`` if it aborted.
+    report: Optional[SimReport]
+    #: FaultError subclass name when the run aborted, else "".
+    abort: str
+    #: Drain cycles actually used (0 when aborted during the run).
+    drain_cycles: int
+    #: Post-drain per-engine totals: (issued, completed, nacks, retries,
+    #: unrecoverable) summed over masters.
+    totals: Tuple[int, int, int, int, int]
+
+
+def check(case: FuzzCase, pred: Prediction, outcome: Outcome) -> List[str]:
+    """Violations of the reference model (empty = conformant)."""
+    violations: List[str] = []
+    if outcome.abort:
+        if not (pred.may_abort or pred.must_abort):
+            violations.append(
+                f"aborted with {outcome.abort} although the fault plan "
+                f"cannot legally abort this run")
+        return violations
+    if pred.must_abort:
+        violations.append(
+            "completed although an un-degraded channel loss with traffic "
+            "provably routed at the dead channel must trip a watchdog")
+        return violations
+
+    rep = outcome.report
+    assert rep is not None
+    issued, completed, nacks, retries, unrecoverable = outcome.totals
+
+    # -- conservation (post-drain attempt accounting): every attempt
+    # (fresh issue or re-issue) ends in exactly one success or failure.
+    if issued + retries != completed + nacks:
+        violations.append(
+            f"conservation: issued {issued} + retries {retries} != "
+            f"completed {completed} + nacks {nacks} after drain")
+    if retries + unrecoverable != nacks:
+        violations.append(
+            f"conservation: nacks {nacks} != retries {retries} + "
+            f"unrecoverable {unrecoverable}")
+    if pred.fault_free and (nacks or retries or unrecoverable
+                            or rep.ecc_corrected or rep.ecc_uncorrectable
+                            or rep.dead_pchs):
+        violations.append(
+            f"fault-free run shows recovery traffic: nacks={nacks} "
+            f"retries={retries} unrecoverable={unrecoverable} "
+            f"ecc={rep.ecc_corrected}+{rep.ecc_uncorrectable} "
+            f"dead={rep.dead_pchs}")
+
+    # -- physics.
+    if rep.total_gbps > pred.physics_gbps * (1.0 + 1e-9):
+        violations.append(
+            f"physics: {rep.total_gbps:.2f} GB/s exceeds the DRAM beat "
+            f"ceiling {pred.physics_gbps:.2f} GB/s")
+    for name, got in (("read", rep.read_gbps), ("write", rep.write_gbps)):
+        if got > pred.port_dir_gbps * (1.0 + 1e-9):
+            violations.append(
+                f"physics: {name} {got:.2f} GB/s exceeds the port supply "
+                f"{pred.port_dir_gbps:.2f} GB/s")
+
+    # -- roofline.
+    if pred.roofline_gbps is not None and rep.total_gbps > pred.roofline_gbps:
+        violations.append(
+            f"roofline: {rep.total_gbps:.2f} GB/s exceeds the estimator "
+            f"ceiling {pred.roofline_gbps:.2f} GB/s (margin included)")
+
+    # -- fault response.
+    if tuple(rep.dead_pchs) != pred.dead_pchs:
+        violations.append(
+            f"dead channels {rep.dead_pchs} != predicted "
+            f"{list(pred.dead_pchs)}")
+    if pred.expect_nacks and nacks == 0:
+        violations.append(
+            "no NACKs although traffic provably kept hitting a degraded "
+            "dead channel")
+    if pred.expect_ecc and rep.ecc_corrected + rep.ecc_uncorrectable == 0:
+        violations.append(
+            "no ECC events although a device-wide corruption window "
+            "covered steady read traffic")
+
+    # -- termination.
+    if outcome.drain_cycles > pred.drain_budget:
+        violations.append(
+            f"drain used {outcome.drain_cycles} cycles, budget "
+            f"{pred.drain_budget}")
+    return violations

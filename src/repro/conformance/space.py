@@ -1,0 +1,229 @@
+"""Parameter spaces for model-based conformance fuzzing.
+
+A :class:`ParamSpace` turns a dict of named dimensions (each an ordered
+tuple of candidate values) into a deterministic list of sampled
+configurations.  Two modes, after the litex AXI-Lite model-based test
+idiom:
+
+* ``mode="full"`` — the exhaustive cartesian product, for *small* core
+  spaces where every combination is affordable;
+* ``mode="pairwise"`` — a 2-way covering array for *broad* spaces: every
+  value pair of every dimension pair appears in at least one sample
+  (guaranteed by construction and provable with
+  :func:`missing_pairs`), at a tiny fraction of the product size.
+
+The pairwise construction is a seeded AETG-style greedy: each round
+builds a handful of candidate configs (dimension order shuffled per
+candidate, each dimension greedily picking the value that covers the
+most still-uncovered pairs) and keeps the best one.  Rounds that would
+stall are forced to make progress by seeding the candidate from an
+explicit uncovered pair, so termination — and with it full 2-way
+coverage — is guaranteed, not probabilistic.  Everything is driven by a
+``random.Random(seed)``: the same ``(dims, mode, seed)`` always yields
+the same samples in the same order, which is what makes fuzz campaigns
+replayable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import (Dict, Iterable, Iterator, List, Mapping, Sequence, Set,
+                    Tuple)
+
+from ..errors import ConfigError
+
+#: One sampled configuration: dimension name -> chosen value.
+Sample = Dict[str, object]
+
+#: A covered pair: ((dim_i, value_i), (dim_j, value_j)) with dim_i < dim_j
+#: in dimension-declaration order.
+Pair = Tuple[Tuple[str, object], Tuple[str, object]]
+
+#: Candidate configs generated per greedy round.  More candidates give
+#: slightly smaller arrays at linear cost; 8 is a good trade-off.
+_CANDIDATES_PER_ROUND = 8
+
+
+class ParamSpace:
+    """A named, ordered parameter space with a deterministic sampler."""
+
+    def __init__(self, dims: Mapping[str, Sequence], mode: str = "full",
+                 seed: int = 0) -> None:
+        if mode not in ("full", "pairwise"):
+            raise ConfigError(f"mode must be 'full' or 'pairwise', "
+                              f"got {mode!r}")
+        if not dims:
+            raise ConfigError("a ParamSpace needs at least one dimension")
+        self.dims: Dict[str, Tuple] = {}
+        for name, values in dims.items():
+            vals = tuple(values)
+            if not vals:
+                raise ConfigError(f"dimension {name!r} has no values")
+            if len(set(vals)) != len(vals):
+                raise ConfigError(f"dimension {name!r} repeats a value")
+            self.dims[name] = vals
+        self.mode = mode
+        self.seed = seed
+        self._samples: List[Sample] = []
+        self._generated = False
+
+    # -- sampling ------------------------------------------------------------
+
+    def samples(self) -> List[Sample]:
+        """The sampled configurations (cached; deterministic)."""
+        if not self._generated:
+            if self.mode == "full":
+                self._samples = self._full()
+            else:
+                self._samples = self._pairwise()
+            self._generated = True
+        return list(self._samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self.samples())
+
+    def __len__(self) -> int:
+        return len(self.samples())
+
+    @property
+    def product_size(self) -> int:
+        """Size of the full cartesian product (for reporting)."""
+        n = 1
+        for vals in self.dims.values():
+            n *= len(vals)
+        return n
+
+    def _full(self) -> List[Sample]:
+        names = list(self.dims)
+        return [dict(zip(names, combo))
+                for combo in itertools.product(*self.dims.values())]
+
+    def all_pairs(self) -> Set[Pair]:
+        """Every value pair of every dimension pair (the coverage goal)."""
+        names = list(self.dims)
+        pairs: Set[Pair] = set()
+        for i, di in enumerate(names):
+            for dj in names[i + 1:]:
+                for vi in self.dims[di]:
+                    for vj in self.dims[dj]:
+                        pairs.add(((di, vi), (dj, vj)))
+        return pairs
+
+    @staticmethod
+    def _pairs_of(sample: Sample, names: Sequence[str]) -> Set[Pair]:
+        items = [(n, sample[n]) for n in names]
+        return {(items[i], items[j])
+                for i in range(len(items)) for j in range(i + 1, len(items))}
+
+    def _pairwise(self) -> List[Sample]:
+        names = list(self.dims)
+        if len(names) == 1:
+            # No pairs exist; cover every single value instead.
+            return [{names[0]: v} for v in self.dims[names[0]]]
+        rng = random.Random(self.seed)
+        uncovered = self.all_pairs()
+        samples: List[Sample] = []
+        while uncovered:
+            best: Sample = {}
+            best_gain = -1
+            for _ in range(_CANDIDATES_PER_ROUND):
+                cand = self._candidate(rng, names, uncovered)
+                gain = len(self._pairs_of(cand, names) & uncovered)
+                if gain > best_gain:
+                    best, best_gain = cand, gain
+            if best_gain <= 0:
+                # Greedy stalled; force progress from an uncovered pair.
+                best = self._forced(rng, names, uncovered)
+            uncovered -= self._pairs_of(best, names)
+            samples.append(best)
+        return samples
+
+    def _candidate(self, rng: random.Random, names: Sequence[str],
+                   uncovered: Set[Pair]) -> Sample:
+        """One AETG candidate: shuffled dim order, greedy value choice."""
+        order = list(names)
+        rng.shuffle(order)
+        chosen: Sample = {}
+        for name in order:
+            best_val = None
+            best_gain = -1
+            for val in self.dims[name]:
+                gain = sum(
+                    1 for other, oval in chosen.items()
+                    if self._pair(name, val, other, oval, names) in uncovered)
+                if gain > best_gain:
+                    best_val, best_gain = val, gain
+            chosen[name] = best_val
+        return {n: chosen[n] for n in names}
+
+    def _forced(self, rng: random.Random, names: Sequence[str],
+                uncovered: Set[Pair]) -> Sample:
+        """Seed a candidate from an explicit uncovered pair: the sample
+        is then guaranteed to retire at least that pair."""
+        (da, va), (db, vb) = min(uncovered, key=repr)
+        chosen: Sample = {da: va, db: vb}
+        for name in names:
+            if name in chosen:
+                continue
+            best_val = None
+            best_gain = -1
+            for val in self.dims[name]:
+                gain = sum(
+                    1 for other, oval in chosen.items()
+                    if self._pair(name, val, other, oval, names) in uncovered)
+                if gain > best_gain:
+                    best_val, best_gain = val, gain
+            chosen[name] = best_val
+        return {n: chosen[n] for n in names}
+
+    def _pair(self, da: str, va: object, db: str, vb: object,
+              names: Sequence[str]) -> Pair:
+        if names.index(da) < names.index(db):
+            return ((da, va), (db, vb))
+        return ((db, vb), (da, va))
+
+    # -- composition ---------------------------------------------------------
+
+    @staticmethod
+    def iter_unique(spaces: Iterable["ParamSpace"]) -> List[Sample]:
+        """Concatenate several spaces' samples, dropping duplicates.
+
+        Spaces may differ in dimensions; samples are compared by their
+        full (name, value) item set.  Order is preserved: earlier spaces
+        win, so putting the exhaustive core space first keeps its
+        complete product intact.
+        """
+        seen: Set[Tuple] = set()
+        out: List[Sample] = []
+        for space in spaces:
+            for sample in space.samples():
+                key = tuple(sorted(sample.items(), key=lambda kv: kv[0]))
+                if key not in seen:
+                    seen.add(key)
+                    out.append(sample)
+        return out
+
+
+def missing_pairs(dims: Mapping[str, Sequence],
+                  samples: Sequence[Mapping[str, object]]) -> Set[Pair]:
+    """Value pairs of ``dims`` not covered by ``samples`` (empty = proof
+    of the 2-way guarantee).  Samples missing one of the two dimensions
+    simply don't count toward that pair."""
+    space = ParamSpace(dims, mode="full")
+    names = list(space.dims)
+    remaining = space.all_pairs()
+    for sample in samples:
+        for i, di in enumerate(names):
+            if di not in sample:
+                continue
+            for dj in names[i + 1:]:
+                if dj in sample:
+                    remaining.discard(((di, sample[di]), (dj, sample[dj])))
+    return remaining
+
+
+def covers_all_pairs(dims: Mapping[str, Sequence],
+                     samples: Sequence[Mapping[str, object]]) -> bool:
+    """True iff ``samples`` is a 2-way covering array for ``dims``."""
+    return not missing_pairs(dims, samples)

@@ -11,6 +11,8 @@ Usage::
     repro-hbm profile fig2 [--trace-out trace.json] [--manifest-out m.json]
     repro-hbm check --all          # statically validate every experiment
     repro-hbm check fig6 --lint    # one experiment + determinism lint
+    repro-hbm fuzz --budget 200 --seed 0   # model-based conformance fuzzing
+    repro-hbm fuzz --replay-corpus         # re-run committed fuzz findings
 """
 
 from __future__ import annotations
@@ -138,6 +140,26 @@ def _cmd_check(args) -> tuple:
     return "\n".join(chunks), 0 if ok else 1
 
 
+def _cmd_fuzz(args) -> tuple:
+    """Conformance fuzz front end; returns (text, exit code)."""
+    from ..conformance import corpus as corpus_mod
+    from ..conformance.driver import run_campaign
+    corpus_dir = args.corpus_dir or str(corpus_mod.default_corpus_dir())
+    if args.replay_corpus:
+        entries = corpus_mod.list_entries(corpus_dir)
+        lines = corpus_mod.replay(corpus_dir)
+        text = "\n".join(
+            [f"corpus replay: {len(entries)} entr(ies) from {corpus_dir}"]
+            + [f"  FAIL {line}" for line in lines]
+            + ([f"  all {len(entries)} entr(ies) pass"] if not lines else []))
+        return text, 0 if not lines else 1
+    report = run_campaign(
+        budget=args.budget, seed=args.seed,
+        minimize=not args.no_minimize,
+        corpus_dir=corpus_dir if not args.no_corpus else None)
+    return report.summary(), 0 if report.ok else 1
+
+
 def _cmd_list() -> str:
     lines = ["available experiments:"]
     for key in sorted(EXPERIMENTS):
@@ -263,6 +285,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="fabric kind for an ad-hoc config check "
                               "(when no experiment keys are given)")
     p_check.add_argument("--outstanding", type=int, default=32)
+    p_fuzz = sub.add_parser(
+        "fuzz", help="model-based conformance fuzzing over the timing / "
+                     "fault / fabric space (see repro.conformance)")
+    p_fuzz.add_argument("--budget", type=int, default=200,
+                        help="number of sampled configurations to run")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (space sampling + traffic)")
+    p_fuzz.add_argument("--replay-corpus", action="store_true",
+                        help="re-run every committed tests/corpus entry "
+                             "instead of fuzzing")
+    p_fuzz.add_argument("--corpus-dir", type=str, default=None,
+                        help="corpus directory (default: tests/corpus)")
+    p_fuzz.add_argument("--no-minimize", action="store_true",
+                        help="skip greedy shrinking of failing configs")
+    p_fuzz.add_argument("--no-corpus", action="store_true",
+                        help="do not write minimized failures to the corpus")
+    p_fuzz.add_argument("--out", type=str, default=None)
     for name, helptext in (("estimate", "analytical bandwidth estimate"),
                            ("advise", "check a design against the guidelines")):
         p = sub.add_parser(name, help=helptext)
@@ -295,6 +334,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "check":
         text, rc = _cmd_check(args)
+        print(text)
+        return rc
+    if args.command == "fuzz":
+        text, rc = _cmd_fuzz(args)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
         print(text)
         return rc
     if args.command == "list":

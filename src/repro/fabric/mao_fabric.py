@@ -50,8 +50,12 @@ class MaoFabric(BaseFabric):
 
     #: Reads are tagged with reorder-buffer lane IDs and the release rule
     #: keeps each lane's responses in issue order whenever same-lane
-    #: reads are never concurrently in flight (reorder_depth >=
-    #: outstanding).  See the sanitizer's ordering check.
+    #: reads are never concurrently in flight.  Lane allocation prefers a
+    #: *free* lane (like hardware AXI ID tag allocation), so with
+    #: reorder_depth >= outstanding no two in-DRAM reads ever share a
+    #: lane and the guarantee is unconditional; with fewer lanes than
+    #: credits, saturated lanes are shared and same-lane inversions can
+    #: occur (the sanitizer counts them instead of raising there).
     same_id_ordering = True
 
     def __init__(
@@ -100,6 +104,13 @@ class MaoFabric(BaseFabric):
         #: in-order delivery stalls the stream).
         self._reads_in_flight = [0] * platform.num_masters
         self._max_reads = max(1, self.config.reorder_depth) * READS_PER_LANE
+        #: Reads holding each AXI ID lane, per master — occupied from
+        #: submit until the data (or NACK) leaves the memory controller.
+        #: The release rule only orders a lane correctly when its
+        #: ``release_time`` calls arrive in issue order, which holds iff
+        #: the lane never has two reads in the DRAM at once.
+        self._lane_users = [[0] * self.config.reorder_depth
+                            for _ in range(platform.num_masters)]
 
     # -- engine interface --------------------------------------------------------
 
@@ -112,9 +123,7 @@ class MaoFabric(BaseFabric):
         txn.issue_cycle = cycle
         if txn.is_read:
             self._reads_in_flight[txn.master] += 1
-            # Allocate the AXI ID lane at issue so the reorder release
-            # rule chains responses in *issue* order per lane.
-            txn.axi_id = self.reorder[txn.master].issue() % self.config.reorder_depth
+            txn.axi_id = self._alloc_lane(txn.master)
         weight = txn.burst_len if txn.is_write else 1
         arrival = cycle + self.one_way_latency + weight
         # Serialize at the destination PCH's acceptance port.
@@ -125,6 +134,29 @@ class MaoFabric(BaseFabric):
         self._seq += 1
         heapq.heappush(self._in_transit, (arrival, self._seq, txn))
         return True
+
+    def _alloc_lane(self, master: int) -> int:
+        """Pick the AXI ID lane of a fresh read.
+
+        The round-robin pointer advances per read (the analytical model's
+        allocation order); its lane is used when free.  A busy round-robin
+        lane means an older read is still in the DRAM there — handing it
+        a second read would let out-of-order DRAM completions invert the
+        lane's release chain — so the next free lane is taken instead.
+        Only when *every* lane is busy (reorder_depth < outstanding) is
+        the lane shared: the documented relaxed regime.
+        """
+        depth = self.config.reorder_depth
+        lane = self.reorder[master].issue() % depth
+        users = self._lane_users[master]
+        if users[lane]:
+            for off in range(1, depth):
+                cand = (lane + off) % depth
+                if not users[cand]:
+                    lane = cand
+                    break
+        users[lane] += 1
+        return lane
 
     def step(self, cycle: int) -> None:
         transit = self._in_transit
@@ -202,6 +234,7 @@ class MaoFabric(BaseFabric):
         if txn.is_read:
             m = txn.master
             self._reads_in_flight[m] -= 1
+            self._lane_users[m][txn.axi_id] -= 1
             self.reorder[m].release_time(txn.axi_id, time + 1.0)
         super()._on_nack(txn, time)
 
@@ -210,6 +243,7 @@ class MaoFabric(BaseFabric):
     def _on_read_data(self, txn: AxiTransaction, time: float) -> None:
         m = txn.master
         self._reads_in_flight[m] -= 1
+        self._lane_users[m][txn.axi_id] -= 1
         ready = time + self.one_way_latency
         # Pace the master's response port at the accelerator clock.
         free = self._egress_free[m]

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
 
@@ -101,6 +101,38 @@ class FaultEvent:
                 and not 0.0 < self.rate <= 1.0:
             raise ConfigError("corruption rate must be in (0, 1]")
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; round-trips bit-exactly through
+        :meth:`from_dict` (enforced by the hypothesis property tests —
+        the fuzz corpus depends on it)."""
+        return {
+            "kind": self.kind.value,
+            "at": self.at,
+            "pch": self.pch,
+            "cut": self.cut,
+            "duration": self.duration,
+            "factor": self.factor,
+            "rate": self.rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        try:
+            kind = FaultKind(data["kind"])
+        except (KeyError, ValueError) as exc:
+            raise ConfigError(f"bad fault event dict: {exc}") from exc
+        return cls(
+            kind=kind,
+            at=int(data["at"]),
+            pch=None if data.get("pch") is None else int(data["pch"]),
+            cut=None if data.get("cut") is None else int(data["cut"]),
+            duration=int(data.get("duration", 0)),
+            factor=float(data.get("factor", 2.0)),
+            rate=float(data.get("rate", 0.0)),
+        )
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -133,6 +165,28 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return bool(self.events)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; ``FaultPlan.from_dict(plan.to_dict()) ==
+        plan`` holds bit-exactly (events re-sort stably by cycle, and the
+        constructor already normalized the order)."""
+        return {
+            "events": [e.to_dict() for e in self.events],
+            "seed": self.seed,
+            "degrade": self.degrade,
+            "dbit_fraction": self.dbit_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            events=[FaultEvent.from_dict(e) for e in data.get("events", ())],
+            seed=int(data.get("seed", 0)),
+            degrade=bool(data.get("degrade", True)),
+            dbit_fraction=float(data.get("dbit_fraction", 0.1)),
+        )
 
     @property
     def offline_pchs(self) -> List[int]:

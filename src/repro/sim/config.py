@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional
 
 from ..errors import ConfigError
 
@@ -133,3 +133,23 @@ class SimConfig:
     @property
     def measured_cycles(self) -> int:
         return self.cycles - self.warmup
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of every field, *including* the env-defaulted
+        toggles (``fast_path``/``sanitize``/``telemetry``) — a dumped
+        config replays the run it described, not whatever the loading
+        process's environment happens to say.  Round-trips bit-exactly
+        through :meth:`from_dict` (hypothesis-tested; the fuzz corpus
+        depends on it)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown SimConfig field(s): {sorted(unknown)}")
+        return cls(**{k: data[k] for k in data})

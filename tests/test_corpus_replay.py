@@ -1,0 +1,47 @@
+"""Corpus replay regression tier.
+
+Every minimized fuzz finding committed under ``tests/corpus/`` is re-run
+through the full oracle stack (sanitizer + fast/legacy diff + reference
+model).  An entry documents a bug that was found and fixed; replaying it
+keeps the fix honest forever.  A *stale* entry — one the static analyzer
+now rejects, or whose embedded derivations no longer match the case
+builders — fails loudly instead of silently testing nothing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance.corpus import (default_corpus_dir, list_entries,
+                                      load_entry)
+from repro.conformance.driver import run_case
+
+ENTRIES = list_entries(default_corpus_dir())
+
+
+def test_corpus_directory_is_not_empty():
+    """PR history guarantee: the first fuzz campaign's finding (the MAO
+    lane-allocation ordering bug) is committed here."""
+    assert ENTRIES, f"no corpus entries under {default_corpus_dir()}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.name)
+def test_corpus_entry_replays_clean(path):
+    case = load_entry(path)  # raises ConfigError if the entry went stale
+    result = run_case(case)
+    assert not result.skipped, \
+        f"{path.name}: statically rejected ({result.skipped}) — stale entry"
+    assert result.ok, "\n".join(
+        f"[{f.kind}] {f.detail}" for f in result.failures)
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.name)
+def test_corpus_entry_documents_its_finding(path):
+    with open(path) as fh:
+        payload = json.load(fh)
+    assert payload["failure"]["kind"] in (
+        "sanitizer", "engine-diff", "prediction", "termination", "error")
+    assert payload["failure"]["details"], "entry must describe the failure"
+    assert {"seed", "budget"} <= set(payload["found_by"])
