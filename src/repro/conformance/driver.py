@@ -19,13 +19,19 @@ kind persists) and written to the replayable corpus
 
 from __future__ import annotations
 
+import hashlib
+import json
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, \
+    Tuple
 
 from ..check.static import quick_check
 from ..errors import ConfigError, FaultError, SanitizerError, SimulationError
+from ..runtime import JournalState, RunJournal, load_journal
 from ..sim import Engine
-from .case import FuzzCase, FAULT_KEYS
+from ..sim.cache import MODEL_VERSION
+from .case import FuzzCase, FAULT_KEYS, SCHEMA_VERSION
 from .reference import Outcome, Prediction, check, predict
 from .space import ParamSpace
 
@@ -217,6 +223,75 @@ def shrink(case: FuzzCase, dims: Optional[Dict[str, tuple]] = None,
 # -- campaigns ---------------------------------------------------------------
 
 
+def case_digest(case: FuzzCase) -> str:
+    """Content-addressed identity of one case (the journal task id).
+
+    Hashes the full serialized case — sample, seed, and the embedded
+    ``SimConfig``/``FaultPlan`` derivations — so a digest names the
+    exact run, and any builder drift since the journal was written
+    changes the digest and forces a re-run instead of a stale skip.
+    """
+    blob = json.dumps(case.to_dict(), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _campaign_meta(seed: int) -> Dict[str, Any]:
+    """Journal header meta; resume refuses on any mismatch here."""
+    return {"kind": "fuzz-campaign", "seed": seed,
+            "model_version": MODEL_VERSION, "case_schema": SCHEMA_VERSION}
+
+
+def _check_resume_meta(state: JournalState, seed: int) -> None:
+    meta = state.meta
+    expected = _campaign_meta(seed)
+    for key in ("kind", "seed", "model_version", "case_schema"):
+        if meta.get(key) != expected[key]:
+            raise ConfigError(
+                f"journal {state.path} is not resumable by this campaign: "
+                f"{key}={meta.get(key)!r} (expected {expected[key]!r}); "
+                f"matching seed and model/schema versions are required for "
+                f"a bit-identical resume")
+
+
+def _result_payload(result: CaseResult, minimal: Optional[FuzzCase],
+                    corpus_path: Optional[str]) -> Dict[str, Any]:
+    """JSON form of everything the campaign recorded for one case."""
+    return {
+        "result": {
+            "failures": [{"kind": f.kind, "detail": f.detail}
+                         for f in result.failures],
+            "skipped": result.skipped,
+            "total_gbps": result.total_gbps,
+            "abort": result.abort,
+        },
+        "minimized": minimal.to_dict() if minimal is not None else None,
+        "corpus_path": corpus_path,
+    }
+
+
+def _restore_result(case: FuzzCase, payload: Mapping[str, Any],
+                    ) -> Tuple[CaseResult, Optional[FuzzCase],
+                               Optional[str]]:
+    """Rebuild a journaled case's outcome bit-identically.
+
+    JSON round-trips Python floats exactly (``repr``-based), so the
+    restored :class:`CaseResult` compares equal to the one an
+    uninterrupted run would have produced."""
+    data = payload["result"]
+    result = CaseResult(
+        case=case,
+        failures=tuple(Failure(str(f["kind"]), str(f["detail"]))
+                       for f in data.get("failures", ())),
+        skipped=str(data.get("skipped", "")),
+        total_gbps=float(data.get("total_gbps", 0.0)),
+        abort=str(data.get("abort", "")),
+    )
+    minimal = (FuzzCase.from_dict(payload["minimized"])
+               if payload.get("minimized") else None)
+    corpus_path = payload.get("corpus_path") or None
+    return result, minimal, corpus_path
+
+
 @dataclass
 class CampaignReport:
     """Everything one fuzz campaign did."""
@@ -226,6 +301,20 @@ class CampaignReport:
     results: List[CaseResult] = field(default_factory=list)
     minimized: List[Tuple[CaseResult, FuzzCase]] = field(default_factory=list)
     corpus_written: List[str] = field(default_factory=list)
+    #: Cases restored from a resume journal instead of re-simulated.
+    resumed: int = 0
+    #: True when a shutdown request stopped the campaign early.
+    interrupted: bool = False
+    #: True when ``max_minutes`` expired before the budget was spent.
+    deadline_reached: bool = False
+    #: Cases of the budget not yet run (interrupt/deadline checkpoints).
+    remaining: int = 0
+    #: Journal backing this campaign, if any (the resume target).
+    journal_path: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining == 0
 
     @property
     def failures(self) -> List[CaseResult]:
@@ -285,29 +374,101 @@ def campaign_cases(budget: int, seed: int) -> List[FuzzCase]:
 
 def run_campaign(budget: int = 200, seed: int = 0, *, minimize: bool = True,
                  corpus_dir: Optional[str] = None,
-                 progress=None) -> CampaignReport:
+                 progress=None,
+                 journal_path: Optional[str] = None,
+                 resume_from: Optional[str] = None,
+                 max_minutes: Optional[float] = None,
+                 should_stop: Optional[Callable[[], bool]] = None,
+                 ) -> CampaignReport:
     """Run a seeded fuzz campaign; optionally minimize and persist
-    failures into the corpus directory."""
+    failures into the corpus directory.
+
+    Crash safety: with ``journal_path`` every case's outcome is recorded
+    durably in a :class:`~repro.runtime.RunJournal` the moment it
+    completes.  ``resume_from`` restores a prior journal's completed
+    cases bit-identically (the deterministic :func:`campaign_cases`
+    list plus content-addressed :func:`case_digest` ids make the skip
+    exact) and re-simulates only the remainder, appending to the same
+    journal.  ``max_minutes`` checkpoints cleanly at a wall-clock
+    deadline; ``should_stop`` (e.g. a
+    :class:`~repro.runtime.GracefulShutdown`) checkpoints on operator
+    interrupt.  Either way the report says how many cases remain and a
+    rerun with ``resume_from`` finishes the campaign.
+    """
     from . import corpus as corpus_mod
     report = CampaignReport(seed=seed, budget=budget)
-    for case in campaign_cases(budget, seed):
-        result = run_case(case)
-        report.results.append(result)
-        if progress is not None:
-            progress(result)
-        if result.ok or result.skipped:
-            continue
-        if minimize:
-            minimal, _runs = shrink(case)
-            report.minimized.append((result, minimal))
-            target = minimal
-        else:
-            target = case
-        if corpus_dir is not None:
-            minimal_result = run_case(target)
-            path = corpus_mod.write_entry(
-                corpus_dir, target,
-                minimal_result.failures or result.failures,
-                seed=seed, budget=budget)
-            report.corpus_written.append(path)
+    state: Optional[JournalState] = None
+    journal: Optional[RunJournal] = None
+    if resume_from is not None:
+        if journal_path is not None and journal_path != resume_from:
+            raise ConfigError(
+                "pass either journal_path or resume_from (a resume "
+                "appends to the journal it resumes from)")
+        state = load_journal(resume_from)
+        _check_resume_meta(state, seed)
+        journal_path = resume_from
+        journal = RunJournal(journal_path, resume=True)
+    elif journal_path is not None:
+        journal = RunJournal(journal_path, meta=_campaign_meta(seed))
+    report.journal_path = journal_path
+
+    # Supervision plumbing, not simulated behaviour: the deadline bounds
+    # operator wall-clock, never the simulated cycle count.
+    deadline = (time.monotonic() + max_minutes * 60.0  # det-lint: allow
+                if max_minutes is not None else None)
+    cases = campaign_cases(budget, seed)
+    try:
+        for case in cases:
+            digest = case_digest(case)
+            if state is not None and state.is_finished(digest):
+                try:
+                    restored = _restore_result(case, state.payload(digest))
+                except (ConfigError, KeyError, TypeError, ValueError) as exc:
+                    raise ConfigError(
+                        f"journal {journal_path} entry {digest} cannot be "
+                        f"restored ({exc}); re-run without --resume"
+                    ) from exc
+                result, minimal, corpus_path = restored
+                report.results.append(result)
+                report.resumed += 1
+                if minimal is not None:
+                    report.minimized.append((result, minimal))
+                if corpus_path:
+                    report.corpus_written.append(corpus_path)
+                continue
+            if should_stop is not None and should_stop():
+                report.interrupted = True
+                break
+            if (deadline is not None
+                    and time.monotonic() >= deadline):  # det-lint: allow
+                report.deadline_reached = True
+                break
+            if journal is not None:
+                journal.start(digest)
+            result = run_case(case)
+            report.results.append(result)
+            if progress is not None:
+                progress(result)
+            minimal = None
+            corpus_path = None
+            if not (result.ok or result.skipped):
+                target = case
+                if minimize:
+                    minimal, _runs = shrink(case)
+                    report.minimized.append((result, minimal))
+                    target = minimal
+                if corpus_dir is not None:
+                    minimal_result = run_case(target)
+                    corpus_path = corpus_mod.write_entry(
+                        corpus_dir, target,
+                        minimal_result.failures or result.failures,
+                        seed=seed, budget=budget)
+                    report.corpus_written.append(corpus_path)
+            if journal is not None:
+                journal.finish(digest,
+                               _result_payload(result, minimal, corpus_path))
+        report.remaining = budget - len(report.results)
+    finally:
+        if journal is not None:
+            journal.close()
     return report

@@ -22,6 +22,7 @@ Hierarchy::
     │       ├── BankStateViolation       column access to a closed/wrong row
     │       └── RetryConsistencyViolation  retry/watchdog bookkeeping broken
     ├── ResourceError          design exceeds FPGA resource capacity
+    ├── SweepError             supervised sweep finished with holes/interrupt
     └── FaultError             *modelled* hardware misbehaving (repro.faults)
         ├── TransactionTimeout a watched transaction exceeded its deadline
         ├── DeadlockError      global progress watchdog: no forward progress
@@ -141,6 +142,21 @@ class RetryConsistencyViolation(SanitizerError):
 
 class ResourceError(ReproError):
     """A design does not fit the FPGA's resource capacity."""
+
+
+class SweepError(ReproError):
+    """A supervised sweep (:mod:`repro.runtime`) did not complete cleanly.
+
+    Raised by strict callers when a :class:`~repro.runtime.SweepOutcome`
+    carries task failures (poisoned/timed-out/crashed points) or was
+    interrupted before every point ran.  The outcome — including every
+    result that *did* complete — is attached as ``outcome``, so nothing
+    already computed is lost to the raise.
+    """
+
+    def __init__(self, message: str, outcome=None) -> None:
+        self.outcome = outcome
+        super().__init__(message)
 
 
 class FaultError(ReproError):

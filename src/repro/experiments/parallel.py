@@ -1,12 +1,29 @@
-"""Process-level parallelism for experiment sweeps.
+"""Crash-safe process-level parallelism for experiment sweeps.
 
 Every sweep in the harness is embarrassingly parallel — each point builds
 its own fabric and traffic and shares no state — so they scale linearly
 over worker processes.  :func:`parallel_sweep` maps a *module-level*
-function over the sweep points with a ``ProcessPoolExecutor`` while
-preserving input order; with ``workers <= 1`` (or in an environment where
-forking is undesirable) it degrades to a plain loop, so callers need no
-fallback logic.
+function over the sweep points on the supervised runtime
+(:class:`repro.runtime.SupervisedPool`) while preserving input order;
+with ``workers <= 1`` (or in an environment where forking is
+undesirable) it degrades to a plain loop, so callers need no fallback
+logic.
+
+Crash safety, on top of the old contract:
+
+* every finished point is checkpointed the moment it completes — the
+  ``cache.put`` happens per-completion in the parent, never deferred to
+  the end of the sweep, so a crash at point 99/100 loses at most the
+  points still in flight;
+* a worker killed mid-run (OOM, SIGKILL) no longer aborts the sweep
+  with ``BrokenProcessPool``: the pool is rebuilt, lost tasks are
+  retried with backoff, and a task that keeps killing workers is
+  quarantined and reported as a structured
+  :class:`~repro.runtime.TaskFailure`;
+* with a :class:`~repro.runtime.RunJournal` active (the CLI's
+  ``--journal``/``--resume`` flags install one process-wide), per-point
+  start/finish records make an interrupted sweep exactly resumable even
+  when the result cache is memory-only.
 
 Only module-level functions and picklable arguments may be passed (the
 standard multiprocessing contract); the experiment modules define their
@@ -15,11 +32,16 @@ per-point workers at module scope for exactly this reason.
 
 from __future__ import annotations
 
+import base64
+import hashlib
 import os
+import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from ..runtime import (RunJournal, JournalState, SupervisedPool,
+                       SweepOutcome, TaskFailure, get_active_journal,
+                       get_active_shutdown)
 from ..sim.cache import MISS
 
 T = TypeVar("T")
@@ -40,11 +62,155 @@ def default_workers() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
-def _map(fn: Callable[[T], R], items: List[T], n: int) -> List[R]:
-    if n <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(n, len(items))) as pool:
-        return list(pool.map(fn, items))
+def _task_id(index: int, item, key: Optional[tuple]) -> str:
+    """Stable journal id for one sweep point.
+
+    Content-addressed by the cache key when there is one (the strongest
+    identity: it already folds in the model version and every input),
+    by the item's ``repr`` otherwise.  The index prefix keeps ids unique
+    even when a sweep legitimately repeats a point.
+    """
+    basis = repr(key) if key is not None else repr(item)
+    digest = hashlib.sha1(basis.encode()).hexdigest()[:16]
+    return f"{index}:{digest}"
+
+
+def _encode_value(value) -> str:
+    return base64.b64encode(pickle.dumps(value)).decode("ascii")
+
+
+def _decode_value(payload) -> Tuple[bool, object]:
+    """Decode a journal payload; ``(False, None)`` on any mismatch so a
+    stale or hand-edited journal degrades to re-running the point."""
+    if not isinstance(payload, dict) or "value" not in payload:
+        return False, None
+    try:
+        return True, pickle.loads(base64.b64decode(payload["value"]))
+    except Exception:  # noqa: BLE001 — corrupt payload = re-run
+        return False, None
+
+
+def supervised_sweep(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    *,
+    cache=None,
+    key_fn: Optional[Callable[[T], tuple]] = None,
+    journal: Optional[RunJournal] = None,
+    resume_state: Optional[JournalState] = None,
+    task_timeout: Optional[float] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+    max_crash_retries: int = 2,
+    quarantine: bool = True,
+    drain_timeout: float = 30.0,
+) -> SweepOutcome:
+    """Map ``fn`` over ``items`` under full supervision.
+
+    The most general entry point: returns the complete
+    :class:`~repro.runtime.SweepOutcome` (ordered results, structured
+    failures, pending indices, retry/rebuild accounting) instead of a
+    bare list.  Cached points are satisfied in the parent, journaled
+    points recorded in ``resume_state`` are restored without
+    re-simulation, and everything else is dispatched to a
+    :class:`~repro.runtime.SupervisedPool` (or run inline for
+    ``workers <= 1``, where per-task timeouts cannot preempt).
+    """
+    n = default_workers() if workers is None else workers
+    items = list(items)
+    keys = ([key_fn(item) for item in items]
+            if cache is not None and key_fn is not None else None)
+    if journal is None and resume_state is None:
+        journal, resume_state = get_active_journal()
+    if should_stop is None:
+        should_stop = get_active_shutdown()
+    ids = [_task_id(i, items[i], keys[i] if keys else None)
+           for i in range(len(items))]
+
+    results: List = [None] * len(items)
+    outcome = SweepOutcome(total=len(items), results=results)
+    todo: List[int] = []
+    for i in range(len(items)):
+        # 1. the result cache (strongest: shared across runs and hosts).
+        if keys is not None:
+            hit = cache.lookup(keys[i])
+            if hit is not MISS:
+                results[i] = hit
+                outcome.completed.append(i)
+                continue
+        # 2. the journal of the interrupted run being resumed.
+        if resume_state is not None and resume_state.is_finished(ids[i]):
+            ok, value = _decode_value(resume_state.payload(ids[i]))
+            if ok:
+                results[i] = value
+                outcome.completed.append(i)
+                if keys is not None:
+                    cache.put(keys[i], value)
+                continue
+        todo.append(i)
+
+    def on_dispatch(i: int) -> None:
+        if journal is not None:
+            journal.start(ids[i])
+
+    def on_result(i: int, value) -> None:
+        # Streaming checkpoint: durable the moment it completes.
+        if keys is not None:
+            cache.put(keys[i], value)
+        if journal is not None:
+            journal.finish(ids[i], {"value": _encode_value(value)})
+
+    def on_failure(failure: TaskFailure) -> None:
+        if journal is not None:
+            journal.failure(ids[failure.index], {
+                "kind": failure.kind, "detail": failure.detail,
+                "attempts": failure.attempts})
+
+    if not todo:
+        return outcome
+
+    if n <= 1 or len(todo) <= 1:
+        # Inline path: same hooks and stop semantics, no subprocesses
+        # (and therefore no preemptive timeouts or crash isolation).
+        for pos, i in enumerate(todo):
+            if should_stop is not None and should_stop():
+                outcome.interrupted = True
+                outcome.pending = todo[pos:]
+                break
+            on_dispatch(i)
+            try:
+                value = fn(items[i])
+            except Exception as exc:  # noqa: BLE001 — structured failure
+                on_failure_record = TaskFailure(
+                    index=i, task=repr(items[i])[:120], kind="error",
+                    detail=f"{type(exc).__name__}: {exc}", attempts=1)
+                outcome.failures.append(on_failure_record)
+                on_failure(on_failure_record)
+                continue
+            results[i] = value
+            outcome.completed.append(i)
+            on_result(i, value)
+        return outcome
+
+    pool = SupervisedPool(
+        workers=min(n, len(todo)),
+        task_timeout=task_timeout,
+        max_crash_retries=max_crash_retries,
+        quarantine=quarantine,
+    )
+    sub = pool.map(fn, items, indices=todo, results=results,
+                   on_dispatch=on_dispatch, on_result=on_result,
+                   on_failure=on_failure, should_stop=should_stop,
+                   drain_timeout=drain_timeout)
+    outcome.results = sub.results
+    outcome.completed.extend(sub.completed)
+    outcome.failures = sub.failures
+    outcome.pending = sub.pending
+    outcome.retries = sub.retries
+    outcome.rebuilds = sub.rebuilds
+    outcome.quarantined = sub.quarantined
+    outcome.interrupted = sub.interrupted
+    return outcome
 
 
 def parallel_sweep(
@@ -54,6 +220,9 @@ def parallel_sweep(
     *,
     cache=None,
     key_fn: Optional[Callable[[T], tuple]] = None,
+    task_timeout: Optional[float] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+    strict: bool = True,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally across processes.
 
@@ -62,22 +231,22 @@ def parallel_sweep(
 
     With ``cache`` (a :class:`~repro.sim.cache.SimCache`) and ``key_fn``
     (item -> cache key), cached points are satisfied in the parent
-    process and only the misses are dispatched to the pool; fresh
-    results are stored back under their keys.  This keeps memoization
-    effective across process-pool sweeps, where worker-local caches die
-    with the workers.
+    process and only the misses are dispatched to the pool; each fresh
+    result is stored back under its key *the moment it completes*, so a
+    crash mid-sweep never discards already-computed points.  This keeps
+    memoization effective across process-pool sweeps, where worker-local
+    caches die with the workers.
+
+    Runs on the supervised runtime: worker death and hangs surface as
+    structured holes, not ``BrokenProcessPool``.  With ``strict=True``
+    (default) an incomplete sweep raises
+    :class:`~repro.errors.SweepError` carrying the partial
+    :class:`~repro.runtime.SweepOutcome`; ``strict=False`` returns the
+    results list with ``None`` holes for callers that degrade.
     """
-    n = default_workers() if workers is None else workers
-    items = list(items)
-    if cache is None or key_fn is None:
-        return _map(fn, items, n)
-    keys = [key_fn(item) for item in items]
-    # MISS, not None: a legitimately cached None must count as a hit.
-    results: List[R] = [cache.lookup(k) for k in keys]
-    missing = [i for i, r in enumerate(results) if r is MISS]
-    if missing:
-        computed = _map(fn, [items[i] for i in missing], n)
-        for i, value in zip(missing, computed):
-            results[i] = value
-            cache.put(keys[i], value)
-    return results  # type: ignore[return-value]
+    outcome = supervised_sweep(
+        fn, items, workers, cache=cache, key_fn=key_fn,
+        task_timeout=task_timeout, should_stop=should_stop)
+    if strict:
+        outcome.require_complete()
+    return outcome.results  # type: ignore[return-value]

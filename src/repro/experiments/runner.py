@@ -81,8 +81,27 @@ def _cmd_chaos(args) -> str:
         pattern=Pattern[args.pattern],
         cycles=args.cycles,
         seed=args.seed,
+        workers=args.workers,
     )
     return format_report(results)
+
+
+def _cmd_cache(args) -> tuple:
+    """Cache maintenance front end; returns (text, exit code)."""
+    from ..sim.cache import SimCache
+    cache = SimCache(args.dir)
+    if not cache.directory:
+        return ("sim cache: no disk directory configured "
+                "(set REPRO_SIM_CACHE_DIR or pass --dir)", 1)
+    lines = []
+    if args.prune:
+        if args.max_bytes is None and args.max_age_days is None:
+            return ("cache --prune needs --max-bytes and/or "
+                    "--max-age-days", 2)
+        lines.append(cache.prune(max_bytes=args.max_bytes,
+                                 max_age_days=args.max_age_days).summary())
+    lines.append(cache.stats().summary())
+    return "\n".join(lines), 0
 
 
 def _cmd_profile(args) -> str:
@@ -140,10 +159,30 @@ def _cmd_check(args) -> tuple:
     return "\n".join(chunks), 0 if ok else 1
 
 
+def _fuzz_resume_hint(args, journal_path: str) -> str:
+    """The exact command that finishes an interrupted campaign."""
+    bits = ["repro-hbm fuzz", f"--budget {args.budget}",
+            f"--seed {args.seed}"]
+    if args.no_minimize:
+        bits.append("--no-minimize")
+    if args.no_corpus:
+        bits.append("--no-corpus")
+    if args.corpus_dir:
+        bits.append(f"--corpus-dir {args.corpus_dir}")
+    bits.append(f"--resume {journal_path}")
+    return " ".join(bits)
+
+
 def _cmd_fuzz(args) -> tuple:
-    """Conformance fuzz front end; returns (text, exit code)."""
+    """Conformance fuzz front end; returns (text, exit code, notes).
+
+    ``text`` is the campaign report (what ``--out`` captures — byte
+    identical between a clean run and an interrupted-then-resumed one);
+    ``notes`` carry journaling/resume status for stdout only.
+    """
     from ..conformance import corpus as corpus_mod
     from ..conformance.driver import run_campaign
+    from ..runtime import GracefulShutdown
     corpus_dir = args.corpus_dir or str(corpus_mod.default_corpus_dir())
     if args.replay_corpus:
         entries = corpus_mod.list_entries(corpus_dir)
@@ -152,12 +191,35 @@ def _cmd_fuzz(args) -> tuple:
             [f"corpus replay: {len(entries)} entr(ies) from {corpus_dir}"]
             + [f"  FAIL {line}" for line in lines]
             + ([f"  all {len(entries)} entr(ies) pass"] if not lines else []))
-        return text, 0 if not lines else 1
-    report = run_campaign(
-        budget=args.budget, seed=args.seed,
-        minimize=not args.no_minimize,
-        corpus_dir=corpus_dir if not args.no_corpus else None)
-    return report.summary(), 0 if report.ok else 1
+        return text, 0 if not lines else 1, []
+    journal_path = None if args.no_journal else (args.resume or args.journal)
+    with GracefulShutdown() as stop:
+        report = run_campaign(
+            budget=args.budget, seed=args.seed,
+            minimize=not args.no_minimize,
+            corpus_dir=corpus_dir if not args.no_corpus else None,
+            journal_path=None if args.resume else journal_path,
+            resume_from=args.resume,
+            max_minutes=args.max_minutes,
+            should_stop=stop)
+    rc = 0 if report.ok else 1
+    notes = []
+    if report.resumed:
+        notes.append(f"resumed {report.resumed} completed case(s) from "
+                     f"journal {args.resume}")
+    if report.interrupted or report.deadline_reached:
+        why = ("interrupted" if report.interrupted
+               else f"wall-clock deadline ({args.max_minutes} min) reached")
+        notes.append(
+            f"{why}: checkpointed after {len(report.results)} of "
+            f"{report.budget} case(s); {report.remaining} remaining")
+        if report.journal_path:
+            notes.append("resume with: "
+                         + _fuzz_resume_hint(args, report.journal_path))
+        rc = 130 if report.interrupted else 0
+    elif report.journal_path and not args.resume:
+        notes.append(f"run journal: {report.journal_path}")
+    return report.summary(), rc, notes
 
 
 def _cmd_list() -> str:
@@ -214,6 +276,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="attach the telemetry sampler to every "
                                "simulation (bit-identical results; see "
                                "repro.telemetry and the profile subcommand)")
+    sim_opts.add_argument("--journal", type=str, default=None,
+                          help="record sweep progress durably to this "
+                               "JSONL journal (each finished point is "
+                               "checkpointed the moment it completes)")
+    sim_opts.add_argument("--resume", type=str, default=None,
+                          metavar="JOURNAL",
+                          help="resume from a sweep journal: points it "
+                               "records as finished are restored, not "
+                               "re-simulated")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
     p_run = sub.add_parser("run", help="run selected experiments",
@@ -248,6 +319,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="simulation horizon in fabric cycles")
     p_chaos.add_argument("--seed", type=int, default=0,
                          help="traffic and fault-plan seed")
+    p_chaos.add_argument("--workers", type=int, default=1,
+                         help="scenarios to run in parallel on the "
+                              "supervised pool (default: serial)")
     p_chaos.add_argument("--out", type=str, default=None)
     p_prof = sub.add_parser(
         "profile", help="run one experiment's representative point under "
@@ -301,7 +375,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip greedy shrinking of failing configs")
     p_fuzz.add_argument("--no-corpus", action="store_true",
                         help="do not write minimized failures to the corpus")
+    p_fuzz.add_argument("--journal", type=str, default="fuzz-journal.jsonl",
+                        help="durable run journal recording every case as "
+                             "it completes (resume an interrupted campaign "
+                             "with --resume)")
+    p_fuzz.add_argument("--no-journal", action="store_true",
+                        help="disable the run journal")
+    p_fuzz.add_argument("--resume", type=str, default=None, metavar="JOURNAL",
+                        help="resume an interrupted campaign from its "
+                             "journal: completed cases are restored "
+                             "bit-identically, only the remainder is "
+                             "re-simulated")
+    p_fuzz.add_argument("--max-minutes", type=float, default=None,
+                        help="wall-clock deadline: checkpoint cleanly to "
+                             "the journal and exit with a resume hint")
     p_fuzz.add_argument("--out", type=str, default=None)
+    p_cache = sub.add_parser(
+        "cache", help="sim-result cache maintenance (footprint stats, "
+                      "size/age-bounded pruning)")
+    p_cache.add_argument("--dir", type=str, default=None,
+                         help="cache directory (default: "
+                              "REPRO_SIM_CACHE_DIR)")
+    p_cache.add_argument("--stats", action="store_true",
+                         help="report entry count and byte footprint "
+                              "(the default action)")
+    p_cache.add_argument("--prune", action="store_true",
+                         help="delete entries to fit --max-bytes / "
+                              "--max-age-days")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="prune oldest entries until the directory "
+                              "fits this many bytes")
+    p_cache.add_argument("--max-age-days", type=float, default=None,
+                         help="prune entries older than this many days")
     for name, helptext in (("estimate", "analytical bandwidth estimate"),
                            ("advise", "check a design against the guidelines")):
         p = sub.add_parser(name, help=helptext)
@@ -323,6 +428,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_SANITIZE"] = "1"
     if getattr(args, "telemetry", False):
         os.environ["REPRO_TELEMETRY"] = "1"
+    if args.command == "fuzz":
+        text, rc, notes = _cmd_fuzz(args)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+        print(text)
+        for note in notes:
+            print(note)
+        return rc
+    sweep_resume = getattr(args, "resume", None)
+    sweep_journal_path = sweep_resume or getattr(args, "journal", None)
+    if sweep_journal_path is None:
+        return _dispatch(args)
+    # Sweep journaling: install the process-wide journal (and a graceful
+    # SIGINT/SIGTERM flag) so every nested parallel_sweep inherits
+    # point-level checkpointing and exact resume.
+    from ..errors import SweepError
+    from ..runtime import (GracefulShutdown, RunJournal, clear_active_journal,
+                           load_journal, set_active_journal,
+                           set_active_shutdown)
+    state = load_journal(sweep_resume) if sweep_resume else None
+    journal = RunJournal(sweep_journal_path, meta={"kind": "sweep"},
+                         resume=bool(sweep_resume))
+    try:
+        with GracefulShutdown() as stop:
+            set_active_journal(journal, state)
+            set_active_shutdown(stop)
+            return _dispatch(args)
+    except SweepError as exc:
+        outcome = exc.outcome
+        print(exc)
+        print(f"progress is journaled in {sweep_journal_path}; resume by "
+              f"re-running this command with --resume {sweep_journal_path}")
+        return 130 if outcome is not None and outcome.interrupted else 1
+    finally:
+        set_active_shutdown(None)
+        clear_active_journal()
+        journal.close()
+
+
+def _dispatch(args) -> int:
     if args.command == "profile":
         text = _cmd_profile(args)
         if args.out:
@@ -336,11 +482,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         text, rc = _cmd_check(args)
         print(text)
         return rc
-    if args.command == "fuzz":
-        text, rc = _cmd_fuzz(args)
-        if args.out:
-            with open(args.out, "w") as fh:
-                fh.write(text + "\n")
+    if args.command == "cache":
+        text, rc = _cmd_cache(args)
         print(text)
         return rc
     if args.command == "list":

@@ -281,6 +281,13 @@ def run_scenario(
     )
 
 
+def _suite_point(args: tuple) -> ChaosResult:
+    """One suite scenario (module-level so it is process-pool picklable)."""
+    key, fabric, pattern, cycles, seed, platform = args
+    return run_scenario(key, fabric=fabric, pattern=pattern, cycles=cycles,
+                        seed=seed, platform=platform)
+
+
 def run_suite(
     scenarios: Optional[Sequence[str]] = None,
     fabric: FabricKind = FabricKind.XLNX,
@@ -288,11 +295,31 @@ def run_suite(
     cycles: int = 6000,
     seed: int = 0,
     platform: HbmPlatform = DEFAULT_PLATFORM,
+    workers: int = 1,
 ) -> List[ChaosResult]:
-    """Run several scenarios (default: the whole library, sorted)."""
+    """Run several scenarios (default: the whole library, sorted).
+
+    Runs on the supervised sweep runtime: with ``workers > 1`` the
+    scenarios fan out over a crash-supervised process pool (each
+    scenario is two simulations, so the suite parallelizes well), and a
+    scenario that crashes its worker surfaces as a structured
+    :class:`~repro.errors.SweepError` instead of a bare
+    ``BrokenProcessPool``.  Results are deterministic and identical at
+    any worker count.
+    """
     keys = sorted(SCENARIOS) if scenarios is None else list(scenarios)
-    return [run_scenario(k, fabric=fabric, pattern=pattern, cycles=cycles,
-                         seed=seed, platform=platform) for k in keys]
+    # Pre-validate inputs here so a typo'd scenario still raises a plain
+    # ConfigError, not a sweep failure wrapping one.
+    for key in keys:
+        if key not in SCENARIOS:
+            raise ConfigError(
+                f"unknown chaos scenario {key!r}; "
+                f"choose from {sorted(SCENARIOS)}")
+    if cycles < 30:
+        raise ConfigError("chaos runs need at least 30 cycles")
+    from ..experiments.parallel import parallel_sweep
+    points = [(k, fabric, pattern, cycles, seed, platform) for k in keys]
+    return parallel_sweep(_suite_point, points, workers)
 
 
 def format_result(r: ChaosResult) -> str:

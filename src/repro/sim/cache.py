@@ -32,8 +32,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
 import warnings
-from typing import Any, Dict, NoReturn, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, NoReturn, Optional, Set, Tuple
 
 from .config import _fast_path_default, _sanitize_default, _telemetry_default
 
@@ -89,6 +91,43 @@ def sweep_key(experiment: str, platform: Any, **params: Any) -> Tuple:
             ("fast_path", _fast_path_default()),
             ("sanitize", _sanitize_default()),
             ("telemetry", _telemetry_default()), items)
+
+
+#: Spill directories already warned about (module-level so every
+#: SimCache instance shares the once-per-directory budget).
+_SPILL_WARNED: Set[str] = set()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Disk footprint of one cache directory."""
+
+    directory: Optional[str]
+    entries: int
+    total_bytes: int
+
+    def summary(self) -> str:
+        if not self.directory:
+            return "sim cache: no disk directory configured (memory only)"
+        mib = self.total_bytes / (1024 * 1024)
+        return (f"sim cache at {self.directory}: {self.entries} entr(ies), "
+                f"{mib:.1f} MiB")
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """What :meth:`SimCache.prune` removed and what remains."""
+
+    removed: int
+    freed_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
+
+    def summary(self) -> str:
+        mib = self.freed_bytes / (1024 * 1024)
+        left = self.remaining_bytes / (1024 * 1024)
+        return (f"pruned {self.removed} entr(ies), freed {mib:.1f} MiB; "
+                f"{self.remaining_entries} entr(ies), {left:.1f} MiB remain")
 
 
 class SimCache:
@@ -193,8 +232,89 @@ class SimCache:
             with open(tmp, "wb") as fh:
                 pickle.dump((key, value), fh)
             os.replace(tmp, path)
-        except OSError:
-            pass  # disk spill is best-effort; memory entry already stored
+        except OSError as exc:
+            # Disk spill is best-effort (the memory entry is already
+            # stored), but silence here would hide an unwritable or full
+            # REPRO_SIM_CACHE_DIR until the user wonders why nothing
+            # persists.  Warn once per directory, not per point — a
+            # 1000-point sweep against a full disk should not emit 1000
+            # warnings.
+            if directory not in _SPILL_WARNED:
+                _SPILL_WARNED.add(directory)
+                warnings.warn(
+                    f"sim-cache disk spill to {directory!r} failed "
+                    f"({type(exc).__name__}: {exc}); results will not "
+                    f"persist across processes until this is fixed "
+                    f"(warning once per directory)",
+                    RuntimeWarning, stacklevel=2)
+
+    # -- disk housekeeping ---------------------------------------------------
+
+    def _entries(self) -> List[Tuple[str, int, float]]:
+        """(path, size, mtime) of every on-disk entry, oldest first."""
+        directory = self.directory
+        if not directory or not os.path.isdir(directory):
+            return []
+        out: List[Tuple[str, int, float]] = []
+        for name in os.listdir(directory):
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(directory, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue  # raced with a concurrent prune/replace
+            out.append((path, st.st_size, st.st_mtime))
+        out.sort(key=lambda e: (e[2], e[0]))
+        return out
+
+    def stats(self) -> CacheStats:
+        """Entry count and byte footprint of the disk directory."""
+        entries = self._entries()
+        return CacheStats(directory=self.directory,
+                          entries=len(entries),
+                          total_bytes=sum(size for _, size, _ in entries))
+
+    def prune(self, max_bytes: Optional[int] = None,
+              max_age_days: Optional[float] = None) -> PruneResult:
+        """Bound the disk directory's growth.
+
+        ``max_age_days`` removes entries whose file mtime is older;
+        ``max_bytes`` then removes oldest-first until the directory fits
+        the budget.  Campaign caches grow one pickle per sweep point
+        forever otherwise.  In-memory entries are untouched (they die
+        with the process anyway); a pruned key simply misses and
+        re-simulates.
+        """
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        doomed: Dict[str, int] = {}
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86_400.0  # det-lint: allow
+            for path, size, mtime in entries:
+                if mtime < cutoff:
+                    doomed[path] = size
+        if max_bytes is not None:
+            kept = total - sum(doomed.values())
+            for path, size, _mtime in entries:
+                if kept <= max_bytes:
+                    break
+                if path in doomed:
+                    continue
+                doomed[path] = size
+                kept -= size
+        removed = 0
+        freed = 0
+        for path, size in doomed.items():
+            try:
+                os.remove(path)
+            except OSError:
+                continue  # raced or unwritable; leave it for next time
+            removed += 1
+            freed += size
+        return PruneResult(removed=removed, freed_bytes=freed,
+                           remaining_entries=len(entries) - removed,
+                           remaining_bytes=total - freed)
 
     def clear(self) -> None:
         """Drop in-memory entries (disk files are left alone)."""

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.faults",
     "repro.telemetry",
+    "repro.runtime",
 ]
 
 MODULES = [
@@ -44,6 +45,9 @@ MODULES = [
     "repro.faults.chaos",
     "repro.faults.watchdog",
     "repro.telemetry.profile",
+    "repro.runtime.journal",
+    "repro.runtime.pool",
+    "repro.runtime.signals",
     "repro.__main__",
 ]
 

@@ -1,10 +1,19 @@
 """Tests for the process-parallel sweep helper."""
 
 import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+import time
 
 import pytest
 
-from repro.experiments.parallel import default_workers, parallel_sweep
+from repro.errors import SweepError
+from repro.experiments.parallel import (default_workers, parallel_sweep,
+                                        supervised_sweep)
+from repro.runtime import RunJournal, load_journal
 
 
 def _square(x):
@@ -13,6 +22,13 @@ def _square(x):
 
 def _pid_tag(x):
     return (x, os.getpid())
+
+
+def _crash_on(x):
+    value, crash = x
+    if crash:
+        os._exit(137)  # worker SIGKILLed (simulated OOM)
+    return value * value
 
 
 class TestParallelSweep:
@@ -60,3 +76,142 @@ class TestParallelSweep:
                 for r in serial] == \
                [(r.pattern, r.direction, r.burst_len, r.total_gbps)
                 for r in parallel]
+
+
+class TestCrashSafety:
+    def test_worker_kill_surfaces_as_sweep_error_not_broken_pool(self):
+        """Acceptance scenario: one point SIGKILLs its worker.  The
+        sweep finishes every other point and reports the casualty as a
+        structured hole riding on SweepError — never BrokenProcessPool."""
+        items = [(i, i == 2) for i in range(6)]
+        with pytest.raises(SweepError, match="sweep incomplete") as info:
+            parallel_sweep(_crash_on, items, workers=2)
+        outcome = info.value.outcome
+        assert outcome.holes == [2]
+        assert outcome.failures[0].kind in ("crash", "poison")
+        assert sorted(outcome.completed) == [0, 1, 3, 4, 5]
+        assert [outcome.results[i] for i in (0, 1, 3, 4, 5)] == \
+               [0, 1, 9, 16, 25]
+
+    def test_non_strict_sweep_returns_partial_results_with_holes(self):
+        items = [(i, i == 1) for i in range(4)]
+        out = parallel_sweep(_crash_on, items, workers=2, strict=False)
+        assert out[0] == 0 and out[2] == 4 and out[3] == 9
+        assert out[1] is None  # the hole
+
+    def test_inline_error_is_structured_too(self):
+        outcome = supervised_sweep(_square, ["bad", 2], workers=1)
+        assert outcome.failures[0].kind == "error"
+        assert "TypeError" in outcome.failures[0].detail
+        assert outcome.results[1] == 4
+
+
+class TestJournaledSweep:
+    def test_journal_records_each_point_and_resume_skips_them(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with RunJournal(path, meta={"kind": "sweep"}) as journal:
+            outcome = supervised_sweep(_square, [1, 2, 3], workers=1,
+                                       journal=journal)
+        assert outcome.ok
+        state = load_journal(path)
+        assert len(state.finished) == 3
+
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return x * x
+
+        with RunJournal(path, resume=True) as journal:
+            resumed = supervised_sweep(tracked, [1, 2, 3, 4], workers=1,
+                                       journal=journal, resume_state=state)
+        assert resumed.results == [1, 4, 9, 16]
+        assert calls == [4]  # journaled points restored, not re-run
+
+    def test_journal_resume_survives_memory_only_cache(self, tmp_path):
+        """Journal payloads embed the values, so resume works even when
+        the result cache died with the process (memory-only cache)."""
+        from repro.params import DEFAULT_PLATFORM
+        from repro.sim.cache import SimCache, sweep_key
+
+        path = str(tmp_path / "sweep.jsonl")
+        with RunJournal(path, meta={}) as journal:
+            supervised_sweep(_square, [5, 6], workers=1, journal=journal,
+                             cache=SimCache(),
+                             key_fn=lambda x: sweep_key(
+                                 "unit-j", DEFAULT_PLATFORM, x=x))
+        fresh_cache = SimCache()  # the old memory cache is gone
+        state = load_journal(path)
+        outcome = supervised_sweep(_square, [5, 6], workers=1,
+                                   resume_state=state, cache=fresh_cache,
+                                   key_fn=lambda x: sweep_key(
+                                       "unit-j", DEFAULT_PLATFORM, x=x))
+        assert outcome.results == [25, 36]
+        assert len(outcome.completed) == 2
+
+    def test_interrupted_inline_sweep_reports_pending(self):
+        seen = []
+
+        def fn(x):
+            seen.append(x)
+            return x
+
+        outcome = supervised_sweep(fn, list(range(6)), workers=1,
+                                   should_stop=lambda: len(seen) >= 2)
+        assert outcome.interrupted
+        assert outcome.pending == [2, 3, 4, 5]
+        with pytest.raises(SweepError, match="interrupted"):
+            outcome.require_complete()
+
+
+_CHILD_SWEEP = textwrap.dedent("""
+    import sys, time
+    from repro.experiments.parallel import parallel_sweep
+    from repro.params import DEFAULT_PLATFORM
+    from repro.sim.cache import SimCache, sweep_key
+
+    def point(x):
+        time.sleep(0.35)
+        return x * x
+
+    def key_fn(x):
+        return sweep_key("kill-regress", DEFAULT_PLATFORM, x=x)
+
+    cache = SimCache(directory=sys.argv[1])
+    parallel_sweep(point, list(range(40)), workers=2,
+                   cache=cache, key_fn=key_fn)
+""")
+
+
+class TestStreamingCheckpoint:
+    def test_sigkilled_sweep_keeps_completed_points_on_disk(self, tmp_path):
+        """Regression: cache.put used to be deferred until the whole map
+        returned, so killing the sweep discarded every finished point.
+        Now each completion is spilled immediately: SIGKILL the sweep
+        after k completions and k entries must survive, all loadable."""
+        cache_dir = tmp_path / "cache"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _CHILD_SWEEP, str(cache_dir)],
+            env={**os.environ, "PYTHONPATH": "src",
+                 "REPRO_SIM_CACHE": "1"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if len(list(cache_dir.glob("*.pkl"))) >= 3:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail("sweep child exited before 3 completions")
+                time.sleep(0.05)
+            else:
+                pytest.fail("no checkpointed entries appeared within 60s")
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+        survivors = list(cache_dir.glob("*.pkl"))
+        assert len(survivors) >= 3
+        for path in survivors:  # atomic writes: every survivor loads
+            with open(path, "rb") as fh:
+                key, value = pickle.load(fh)
+            x = int(dict(key[-1])["x"])  # sweep_key folds the point in
+            assert value == x * x

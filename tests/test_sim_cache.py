@@ -230,6 +230,98 @@ def test_measure_uses_cache(small_platform):
     assert cache.hits == 1
 
 
+class TestSpillFailureWarning:
+    """Regression: a disk-spill OSError used to be swallowed silently —
+    an unwritable REPRO_SIM_CACHE_DIR meant nothing ever persisted and
+    nobody was told."""
+
+    def _broken_cache(self, tmp_path, monkeypatch):
+        import repro.sim.cache as cache_mod
+        target = str(tmp_path / "denied")
+        monkeypatch.setattr(cache_mod, "_SPILL_WARNED", set())
+
+        def deny(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache_mod.os, "replace", deny)
+        return SimCache(directory=target), target
+
+    def test_spill_failure_warns_and_names_directory(self, tmp_path,
+                                                     monkeypatch):
+        cache, target = self._broken_cache(tmp_path, monkeypatch)
+        key = sweep_key("x", DEFAULT_PLATFORM, a=1)
+        with pytest.warns(RuntimeWarning, match="denied"):
+            cache.put(key, 1)
+        assert cache.get(key) == 1  # the memory entry still serves
+
+    def test_spill_failure_warns_once_per_directory(self, tmp_path,
+                                                    monkeypatch, recwarn):
+        cache, _target = self._broken_cache(tmp_path, monkeypatch)
+        for a in range(50):  # a 50-point sweep against a full disk
+            cache.put(sweep_key("x", DEFAULT_PLATFORM, a=a), a)
+        spill = [w for w in recwarn.list
+                 if "sim-cache disk spill" in str(w.message)]
+        assert len(spill) == 1
+
+
+class TestStatsAndPrune:
+    def _filled(self, tmp_path, n=4):
+        cache = SimCache(directory=str(tmp_path))
+        for a in range(n):
+            cache.put(sweep_key("x", DEFAULT_PLATFORM, a=a), "v" * 100)
+        return cache
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = self._filled(tmp_path, n=4)
+        stats = cache.stats()
+        assert stats.entries == 4
+        assert stats.total_bytes == sum(
+            f.stat().st_size for f in tmp_path.glob("*.pkl"))
+        assert "4 entr(ies)" in stats.summary()
+
+    def test_stats_without_directory(self):
+        stats = SimCache().stats()
+        assert stats.entries == 0 and stats.directory is None
+        assert "memory only" in stats.summary()
+
+    def test_prune_by_bytes_removes_oldest_first(self, tmp_path):
+        import os as os_mod
+        cache = self._filled(tmp_path, n=4)
+        files = sorted(tmp_path.glob("*.pkl"), key=lambda f: f.name)
+        # Make the first file unambiguously the oldest.
+        old = files[0]
+        os_mod.utime(old, (1_000_000, 1_000_000))
+        entry_size = old.stat().st_size
+        keep = entry_size * 2 + entry_size // 2  # room for exactly two
+        result = cache.prune(max_bytes=keep)
+        assert result.removed == 2
+        assert not old.exists()  # oldest went first
+        assert result.remaining_entries == 2
+        assert result.remaining_bytes <= keep
+        assert "pruned 2 entr(ies)" in result.summary()
+
+    def test_prune_by_age(self, tmp_path):
+        import os as os_mod
+        import time as time_mod
+        cache = self._filled(tmp_path, n=3)
+        stale = sorted(tmp_path.glob("*.pkl"))[0]
+        two_days_ago = time_mod.time() - 2 * 86400
+        os_mod.utime(stale, (two_days_ago, two_days_ago))
+        result = cache.prune(max_age_days=1.0)
+        assert result.removed == 1 and not stale.exists()
+        assert result.remaining_entries == 2
+
+    def test_prune_noop_when_within_bounds(self, tmp_path):
+        cache = self._filled(tmp_path, n=2)
+        result = cache.prune(max_bytes=10 ** 9, max_age_days=365)
+        assert result.removed == 0 and result.freed_bytes == 0
+        assert result.remaining_entries == 2
+
+    def test_prune_without_directory_is_noop(self):
+        result = SimCache().prune(max_bytes=0)
+        assert result.removed == 0 and result.remaining_entries == 0
+
+
 def test_parallel_sweep_prefilters_cached_points():
     from repro.experiments.parallel import parallel_sweep
 
