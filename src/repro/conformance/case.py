@@ -140,12 +140,12 @@ class FuzzCase:
         termination failure (lost transaction or livelock)."""
         return 40 * self.cycles + 60_000
 
-    def sim_config(self, fast_path: bool = True) -> SimConfig:
+    def sim_config(self, engine: str = "fast") -> SimConfig:
         return SimConfig(
             cycles=self.cycles,
             warmup=self.warmup,
             outstanding=self.outstanding,
-            fast_path=fast_path,
+            engine=engine,
             sanitize=True,
             txn_timeout_cycles=self.guard_cycles,
             progress_timeout_cycles=self.guard_cycles,

@@ -1,14 +1,14 @@
 """The conformance fuzz driver: sample → run → oracle → shrink.
 
-For every sampled configuration the driver runs the *real* engine twice
-— fast path and legacy per-cycle loop, both with the runtime sanitizer
-armed and both watchdogs set — drains, and then applies three stacked
-oracles:
+For every sampled configuration the driver runs the *real* engine three
+times — fast path, vector struct-of-arrays tier, and legacy per-cycle
+loop, all with the runtime sanitizer armed and both watchdogs set —
+drains, and then applies three stacked oracles:
 
 1. the sanitizer (AXI ordering, conservation ledgers, credit leaks,
    DRAM bank legality) raising typed :class:`SanitizerError`\\ s,
-2. a bit-exactness diff between the two loops' reports and post-drain
-   counters,
+2. a bit-exactness diff of each optimized loop's report and post-drain
+   counters against the legacy oracle,
 3. the analytical reference model (:mod:`repro.conformance.reference`).
 
 A failing case is auto-minimized by greedy dimension shrinking (walk
@@ -94,10 +94,10 @@ class CaseResult:
         return not self.failures
 
 
-def _one_loop(case: FuzzCase, fast_path: bool) -> Outcome:
+def _one_loop(case: FuzzCase, engine_tier: str) -> Outcome:
     """Run one engine loop of ``case`` to a drained end state."""
     fabric, sources = case.build()
-    engine = Engine(fabric, sources, case.sim_config(fast_path=fast_path),
+    engine = Engine(fabric, sources, case.sim_config(engine=engine_tier),
                     faults=case.fault_plan() or None)
     try:
         report = engine.run()
@@ -118,18 +118,22 @@ def _totals(engine: Engine) -> Tuple[int, int, int, int, int]:
             sum(mp.unrecoverable for mp in mps))
 
 
-def _diff_outcomes(fast: Outcome, legacy: Outcome) -> List[str]:
-    """Bit-exactness diff between the two engine loops."""
+def _diff_outcomes(probe: Outcome, oracle: Outcome, probe_name: str,
+                   oracle_name: str = "legacy") -> List[str]:
+    """Bit-exactness diff of one optimized loop against the oracle."""
     diffs: List[str] = []
-    if fast.abort != legacy.abort:
-        diffs.append(f"abort differs: fast={fast.abort or 'completed'!r} "
-                     f"legacy={legacy.abort or 'completed'!r}")
+    if probe.abort != oracle.abort:
+        diffs.append(
+            f"abort differs: {probe_name}={probe.abort or 'completed'!r} "
+            f"{oracle_name}={oracle.abort or 'completed'!r}")
         return diffs
-    if fast.totals != legacy.totals:
-        diffs.append(f"post-drain counters differ: fast={fast.totals} "
-                     f"legacy={legacy.totals}")
-    if fast.report != legacy.report:
-        diffs.append("SimReport differs between fast and legacy loops")
+    if probe.totals != oracle.totals:
+        diffs.append(
+            f"post-drain counters differ: {probe_name}={probe.totals} "
+            f"{oracle_name}={oracle.totals}")
+    if probe.report != oracle.report:
+        diffs.append(f"SimReport differs between {probe_name} and "
+                     f"{oracle_name} loops")
     return diffs
 
 
@@ -144,8 +148,9 @@ def run_case(case: FuzzCase) -> CaseResult:
     pred = predict(case)
     failures: List[Failure] = []
     try:
-        fast = _one_loop(case, fast_path=True)
-        legacy = _one_loop(case, fast_path=False)
+        fast = _one_loop(case, "fast")
+        vector = _one_loop(case, "vector")
+        legacy = _one_loop(case, "legacy")
     except SanitizerError as exc:
         return CaseResult(case=case, failures=(
             Failure("sanitizer", f"{type(exc).__name__}: {exc}"),))
@@ -156,7 +161,9 @@ def run_case(case: FuzzCase) -> CaseResult:
         return CaseResult(case=case, failures=(
             Failure("error", f"{type(exc).__name__}: {exc}"),))
 
-    for diff in _diff_outcomes(fast, legacy):
+    for diff in _diff_outcomes(fast, legacy, "fast"):
+        failures.append(Failure("engine-diff", diff))
+    for diff in _diff_outcomes(vector, legacy, "vector"):
         failures.append(Failure("engine-diff", diff))
     for violation in check(case, pred, fast):
         failures.append(Failure("prediction", violation))
@@ -346,7 +353,8 @@ class CampaignReport:
             lines.append(f"  corpus entry written: {path}")
         if self.ok:
             lines.append("  all reference-model predictions satisfied; "
-                         "fast/legacy loops bit-identical on every config")
+                         "fast/vector/legacy loops bit-identical on every "
+                         "config")
         return "\n".join(lines)
 
 

@@ -119,6 +119,10 @@ class MemoryController:
         self._seq = 0
         self.accepts = 0
         self._local_index = {p.index: i for i, p in enumerate(pchs)}
+        #: Optional acceptance hook (vector engine): called once per
+        #: transaction queued by :meth:`try_accept`, so a due-time cache
+        #: can re-arm a controller it believed idle.
+        self.waker: Optional[Callable[["MemoryController"], None]] = None
 
     # -- fabric-facing -------------------------------------------------------
 
@@ -149,6 +153,8 @@ class MemoryController:
         txn.accept_cycle = cycle
         q.append(txn)
         self.accepts += 1
+        if self.waker is not None:
+            self.waker(self)
         if txn.is_write:
             # Posted write: B response on acceptance into the queue.
             self.on_write_accept(txn, float(cycle))

@@ -23,6 +23,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..sim.config import ENGINE_TIERS
 from ..types import FabricKind, Pattern, RWRatio
 from .registry import EXPERIMENTS, get_experiment
 
@@ -268,6 +269,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     sim_opts.add_argument("--legacy-engine", action="store_true",
                           help="use the reference cycle loop instead of the "
                                "fast path (bit-identical results, slower)")
+    sim_opts.add_argument("--engine", choices=list(ENGINE_TIERS),
+                          default=None,
+                          help="main-loop tier for every simulation: fast "
+                               "(default), legacy (reference per-cycle "
+                               "loop), or vector (struct-of-arrays tier); "
+                               "all bit-identical")
     sim_opts.add_argument("--sanitize", action="store_true",
                           help="attach the runtime invariant sanitizer to "
                                "every simulation (bit-identical results, "
@@ -424,6 +431,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_SIM_CACHE"] = "0"
     if getattr(args, "legacy_engine", False):
         os.environ["REPRO_FAST_PATH"] = "0"
+    if getattr(args, "engine", None):
+        if getattr(args, "legacy_engine", False) \
+                and args.engine != "legacy":
+            parser.error("--legacy-engine conflicts with "
+                         f"--engine {args.engine}")
+        os.environ["REPRO_ENGINE"] = args.engine
     if getattr(args, "sanitize", False):
         os.environ["REPRO_SANITIZE"] = "1"
     if getattr(args, "telemetry", False):

@@ -37,7 +37,8 @@ import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, NoReturn, Optional, Set, Tuple
 
-from .config import _fast_path_default, _sanitize_default, _telemetry_default
+from .config import (_engine_default, _fast_path_default, _sanitize_default,
+                     _telemetry_default)
 
 #: Bump when a model change alters simulation outputs.
 MODEL_VERSION = 2
@@ -85,9 +86,10 @@ def sweep_key(experiment: str, platform: Any, **params: Any) -> Tuple:
     """
     items = tuple(sorted((k, repr(v)) for k, v in params.items()))
     # The observer switches (sanitize, telemetry) are bit-identity
-    # preserving like fast_path, but keying on them keeps the cache
+    # preserving like the engine tier, but keying on them keeps the cache
     # trivially sound even while that property is being debugged.
     return (MODEL_VERSION, experiment, platform_digest(platform),
+            ("engine", _engine_default()),
             ("fast_path", _fast_path_default()),
             ("sanitize", _sanitize_default()),
             ("telemetry", _telemetry_default()), items)

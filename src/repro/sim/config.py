@@ -27,6 +27,16 @@ def _telemetry_default() -> bool:
         "1", "true", "yes", "on")
 
 
+#: Engine tiers selectable via :attr:`SimConfig.engine` / ``--engine``.
+ENGINE_TIERS = ("fast", "legacy", "vector")
+
+
+def _engine_default() -> str:
+    """Engine tier from ``REPRO_ENGINE``, or ``""`` (derive from
+    ``fast_path`` in ``__post_init__``)."""
+    return os.environ.get("REPRO_ENGINE", "")
+
+
 @dataclass(frozen=True)
 class SimConfig:
     """Parameters of one simulation run.
@@ -54,6 +64,17 @@ class SimConfig:
     differential tests in ``tests/test_engine_fastpath.py``).  Set to
     ``False`` — or export ``REPRO_FAST_PATH=0`` — to fall back to the
     legacy strictly per-cycle loop when debugging."""
+
+    engine: str = field(default_factory=_engine_default)
+    """Which main-loop tier drives the run: ``"fast"`` (the default
+    batched/quiescence-skipping loop), ``"legacy"`` (the reference
+    strictly per-cycle loop), or ``"vector"`` (the numpy
+    struct-of-arrays tier, :mod:`repro.sim.vector`).  All three are
+    bit-identical (enforced by the three-way differential grid in
+    ``tests/test_engine_fastpath.py``).  An empty string — the default
+    when ``REPRO_ENGINE`` is unset — derives the tier from
+    :attr:`fast_path`; when both are given explicitly, ``engine`` wins
+    and ``fast_path`` is normalized to match."""
 
     sanitize: bool = field(default_factory=_sanitize_default)
     """Attach the runtime invariant sanitizer
@@ -100,6 +121,15 @@ class SimConfig:
     """Upper bound of the exponential retry backoff."""
 
     def __post_init__(self) -> None:
+        if not self.engine:
+            object.__setattr__(
+                self, "engine", "fast" if self.fast_path else "legacy")
+        if self.engine not in ENGINE_TIERS:
+            raise ConfigError(
+                f"engine must be one of {ENGINE_TIERS}, got {self.engine!r}")
+        # ``engine`` is authoritative; ``fast_path`` stays as the derived
+        # boolean view older call sites (and drain()) key off.
+        object.__setattr__(self, "fast_path", self.engine != "legacy")
         if self.cycles <= 0:
             raise ConfigError("cycles must be positive")
         if not 0 <= self.warmup < self.cycles:

@@ -127,7 +127,11 @@ class Engine:
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> SimReport:
-        if self.config.fast_path:
+        engine = self.config.engine
+        if engine == "vector":
+            from .vector import run_vector
+            run_vector(self)
+        elif self.config.fast_path:
             self._run_fast()
         else:
             self._run_legacy()

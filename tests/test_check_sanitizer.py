@@ -40,15 +40,20 @@ def _engine(small_platform, fabric, *, pattern=Pattern.CCS, rw=READ_ONLY,
 
 # -- differential: clean runs stay clean and bit-identical -------------------
 
+@pytest.mark.parametrize("engine", ["fast", "vector"])
 @pytest.mark.parametrize("fabric_key,pattern,rw,outstanding", GRID,
                          ids=[f"{f}-{p.name}-{r.reads}to{r.writes}-o{o}"
                               for f, p, r, o in GRID])
 def test_sanitized_grid_clean_and_bit_identical(small_platform, fabric_key,
-                                                pattern, rw, outstanding):
+                                                pattern, rw, outstanding,
+                                                engine):
+    """The sanitizer must see the same event stream under every engine
+    tier: its ledgers are part of the observable surface the vector
+    stepper may not perturb."""
     eng, sanitized = _run(small_platform, fabric_key, pattern, rw,
-                          outstanding, True, sanitize=True)
+                          outstanding, engine, sanitize=True)
     _, plain = _run(small_platform, fabric_key, pattern, rw, outstanding,
-                    True)
+                    engine)
     assert sanitized == plain
     san = eng.sanitizer
     assert san is not None and san.checks_run > 0
@@ -65,9 +70,9 @@ def test_sanitized_fault_runs_clean(small_platform, fabric_key, plan_key):
     kw = dict(faults=FAULT_PLANS[plan_key], txn_timeout_cycles=4000,
               progress_timeout_cycles=4000)
     eng, sanitized = _run(small_platform, fabric_key, Pattern.SCS,
-                          TWO_TO_ONE, 16, True, sanitize=True, **kw)
+                          TWO_TO_ONE, 16, "fast", sanitize=True, **kw)
     _, plain = _run(small_platform, fabric_key, Pattern.SCS, TWO_TO_ONE, 16,
-                    True, **kw)
+                    "fast", **kw)
     assert sanitized == plain
     assert eng.sanitizer.checks_run > 0
 

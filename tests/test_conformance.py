@@ -52,7 +52,7 @@ def test_offline_degraded_predicts_dead_channel():
 def test_check_flags_conservation_breakage():
     case = _case()
     pred = predict(case)
-    fast = driver_mod._one_loop(case, fast_path=True)
+    fast = driver_mod._one_loop(case, "fast")
     assert not check(case, pred, fast)  # healthy run passes
     # Forge an outcome whose post-drain ledger loses one transaction.
     issued, completed, nacks, retries, unrec = fast.totals
@@ -66,7 +66,7 @@ def test_check_flags_conservation_breakage():
 def test_check_flags_physics_ceiling_breakage():
     case = _case()
     pred = predict(case)
-    fast = driver_mod._one_loop(case, fast_path=True)
+    fast = driver_mod._one_loop(case, "fast")
     rep = fast.report
     # A report claiming more bandwidth than one beat per PCH per fabric
     # cycle must be called out, whatever the config.

@@ -17,6 +17,8 @@ import pytest
 from repro.conformance.corpus import (default_corpus_dir, list_entries,
                                       load_entry)
 from repro.conformance.driver import run_case
+from repro.sim import Engine
+from repro.sim.config import ENGINE_TIERS
 
 ENTRIES = list_entries(default_corpus_dir())
 
@@ -35,6 +37,23 @@ def test_corpus_entry_replays_clean(path):
         f"{path.name}: statically rejected ({result.skipped}) — stale entry"
     assert result.ok, "\n".join(
         f"[{f.kind}] {f.detail}" for f in result.failures)
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.name)
+def test_corpus_entry_bit_identical_across_engines(path):
+    """Every corpus scenario — each one a minimized real finding — must
+    replay bit-identically under all three engine tiers.  ``run_case``
+    already diffs the loops internally; this replays each tier explicitly
+    so a tier-specific divergence names the tier in the failure."""
+    case = load_entry(path)
+    reports = {}
+    for tier in ENGINE_TIERS:
+        fabric, sources = case.build()
+        eng = Engine(fabric, sources, case.sim_config(engine=tier),
+                     faults=case.fault_plan() or None)
+        reports[tier] = eng.run()
+    assert reports["fast"] == reports["legacy"], "fast != legacy"
+    assert reports["vector"] == reports["legacy"], "vector != legacy"
 
 
 @pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.name)

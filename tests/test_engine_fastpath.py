@@ -1,13 +1,15 @@
-"""Differential tests of the engine's fast path.
+"""Differential tests of the engine tiers (legacy / fast / vector).
 
-The fast path (batched master stepping + quiescence skipping) claims to
-be an *optimization, never a model change*: for every configuration the
+The fast path (batched master stepping + quiescence skipping) and the
+vector tier (per-component due times in struct-of-arrays, batched
+advancement between event horizons) both claim to be *optimizations,
+never model changes*: for every configuration the
 :class:`~repro.sim.stats.SimReport` must be **bit-identical** to the
 legacy strictly per-cycle loop — same Welford latency moments (which are
 float-order-sensitive, so even completion *ordering* must match), same
 byte counters, same histograms.  These tests enforce that claim over a
-grid of fabric × pattern × direction × outstanding configurations, plus
-the drain/deadlock edge cases.
+grid of fabric × pattern × direction × outstanding configurations, with
+every engine pair diffed, plus the drain/deadlock edge cases.
 """
 
 from __future__ import annotations
@@ -18,7 +20,8 @@ from repro.errors import SimulationError
 from repro.fabric import IdealFabric, MaoFabric, SegmentedFabric
 from repro.faults import FaultEvent, FaultKind, FaultPlan
 from repro.sim import Engine, SimConfig
-from repro.traffic import make_pattern_sources
+from repro.sim.config import ENGINE_TIERS
+from repro.traffic import make_hotspot_sources, make_pattern_sources
 from repro.types import Pattern, RWRatio, READ_ONLY, TWO_TO_ONE
 
 FABRICS = {
@@ -51,7 +54,7 @@ GRID = [
 
 #: Fault configurations for the differential grid: injection, watchdog
 #: deadlines, NACK/retry/backoff, and degradation remapping must all land
-#: on the same cycles under both loops for the reports to stay equal.
+#: on the same cycles under every loop for the reports to stay equal.
 FAULT_PLANS = {
     "offline-degrade": FaultPlan(
         [FaultEvent(FaultKind.PCH_OFFLINE, at=450, pch=2)], degrade=True),
@@ -64,6 +67,9 @@ FAULT_PLANS = {
     "stall-offline": FaultPlan(
         [FaultEvent(FaultKind.LINK_STALL, at=300, duration=200),
          FaultEvent(FaultKind.PCH_OFFLINE, at=700, pch=5)], degrade=True),
+    "offline-starve": FaultPlan(
+        [FaultEvent(FaultKind.PCH_OFFLINE, at=400, pch=3)],
+        degrade=False),  # no recovery: queued work starves
 }
 
 FAULT_GRID = [
@@ -73,86 +79,135 @@ FAULT_GRID = [
     ("mao", "offline-degrade"),
     ("mao", "slow-corrupt"),
     ("mao", "stall-offline"),
+    ("mao", "offline-starve"),
     ("ideal", "offline-degrade"),
     ("ideal", "slow-corrupt"),
+    ("ideal", "offline-starve"),
 ]
 
 
-def _run(small_platform, fabric_key, pattern, rw, outstanding, fast,
+def _run(small_platform, fabric_key, pattern, rw, outstanding, engine,
          cycles=1200, warmup=300, faults=None, **cfg_kw):
     fabric = FABRICS[fabric_key](small_platform)
     sources = make_pattern_sources(
         pattern, small_platform, burst_len=8, rw=rw,
         address_map=fabric.address_map)
     cfg = SimConfig(cycles=cycles, warmup=warmup, outstanding=outstanding,
-                    fast_path=fast, **cfg_kw)
-    engine = Engine(fabric, sources, cfg, faults=faults)
-    return engine, engine.run()
+                    engine=engine, **cfg_kw)
+    eng = Engine(fabric, sources, cfg, faults=faults)
+    return eng, eng.run()
+
+
+def _three_way(small_platform, fabric_key, pattern, rw, outstanding,
+               **kw):
+    """Run all three tiers; diff every pair against the legacy oracle."""
+    reports = {
+        engine: _run(small_platform, fabric_key, pattern, rw, outstanding,
+                     engine, **kw)[1]
+        for engine in ENGINE_TIERS
+    }
+    legacy = reports["legacy"]
+    assert reports["fast"] == legacy, "fast != legacy"
+    assert reports["vector"] == legacy, "vector != legacy"
+    assert reports["vector"] == reports["fast"], "vector != fast"
+    return legacy
 
 
 @pytest.mark.parametrize("fabric_key,pattern,rw,outstanding", GRID,
                          ids=[f"{f}-{p.name}-{r.reads}to{r.writes}-o{o}"
                               for f, p, r, o in GRID])
-def test_fast_path_bit_identical(small_platform, fabric_key, pattern, rw,
-                                 outstanding):
-    _, fast = _run(small_platform, fabric_key, pattern, rw, outstanding, True)
-    _, legacy = _run(small_platform, fabric_key, pattern, rw, outstanding,
-                     False)
+def test_engines_bit_identical(small_platform, fabric_key, pattern, rw,
+                               outstanding):
     # Dataclass equality covers every field, including the float Welford
     # moments and the latency histograms.
-    assert fast == legacy
+    _three_way(small_platform, fabric_key, pattern, rw, outstanding)
 
 
 @pytest.mark.parametrize("fabric_key,plan_key", FAULT_GRID,
                          ids=[f"{f}-{p}" for f, p in FAULT_GRID])
-def test_fast_path_bit_identical_under_faults(small_platform, fabric_key,
-                                              plan_key):
+def test_engines_bit_identical_under_faults(small_platform, fabric_key,
+                                            plan_key):
     """Fault injection must not break the bit-identity claim: clock jumps
     clamp to fault-event cycles, watchdog deadlines, and retry due times,
-    so both loops observe the same failure and recovery schedule."""
+    so every loop observes the same failure and recovery schedule."""
     plan = FAULT_PLANS[plan_key]
     kw = dict(faults=plan, txn_timeout_cycles=4000,
               progress_timeout_cycles=4000)
-    _, fast = _run(small_platform, fabric_key, Pattern.SCS, TWO_TO_ONE, 16,
-                   True, **kw)
-    _, legacy = _run(small_platform, fabric_key, Pattern.SCS, TWO_TO_ONE, 16,
-                     False, **kw)
-    assert fast == legacy
+    report = _three_way(small_platform, fabric_key, Pattern.SCS, TWO_TO_ONE,
+                        16, **kw)
     # The scenario must actually have exercised the fault machinery.
-    if plan.offline_pchs:
-        assert fast.dead_pchs == plan.offline_pchs
-        assert fast.nacks > 0
+    if plan.offline_pchs and plan.degrade:
+        assert report.dead_pchs == plan.offline_pchs
+        assert report.nacks > 0
 
 
 def test_fast_path_actually_skips_cycles(small_platform):
     """Sanity: the low-intensity latency scenario has idle stretches the
     fast path must exploit (otherwise it silently degraded to legacy)."""
-    engine, _ = _run(small_platform, "mao", Pattern.CCS, TWO_TO_ONE, 1, True)
+    engine, _ = _run(small_platform, "mao", Pattern.CCS, TWO_TO_ONE, 1,
+                     "fast")
     assert engine.stepped_cycles < engine.config.cycles
+
+
+def test_vector_skips_cycles(small_platform):
+    """The vector tier must exploit idle stretches too.  Its per-component
+    dues and the fast path's whole-fabric horizon are each conservative in
+    *different* places, so neither strictly subsumes the other on healthy
+    runs — but the vector tier must still skip a substantial fraction of
+    the low-intensity scenario."""
+    vec, _ = _run(small_platform, "mao", Pattern.CCS, TWO_TO_ONE, 1,
+                  "vector")
+    assert vec.stepped_cycles < vec.config.cycles
+
+
+def test_vector_jumps_starvation_window(small_platform):
+    """Where the vector tier provably out-skips the fast path: the hot
+    PCH goes offline with no degrade remap and no watchdogs, so every
+    credit parks behind the dead channel and the staged deque is refused
+    forever.  The fast path's ``next_event`` sees non-empty MC queues and
+    staged work and grinds cycle by cycle; the vector stepper's pop
+    tracking proves no acceptance is possible and jumps the window."""
+    plan = FaultPlan([FaultEvent(FaultKind.PCH_OFFLINE, at=400, pch=0)],
+                     degrade=False)
+    stepped = {}
+    reports = {}
+    for engine in ENGINE_TIERS:
+        fabric = MaoFabric(small_platform)
+        sources = make_hotspot_sources(
+            0, small_platform, burst_len=8, rw=READ_ONLY,
+            address_map=fabric.address_map)
+        cfg = SimConfig(cycles=2400, warmup=300, outstanding=16,
+                        engine=engine)
+        eng = Engine(fabric, sources, cfg, faults=plan)
+        reports[engine] = eng.run()
+        stepped[engine] = eng.stepped_cycles
+    assert reports["fast"] == reports["legacy"]
+    assert reports["vector"] == reports["legacy"]
+    assert stepped["vector"] < stepped["fast"] / 2
 
 
 def test_legacy_steps_every_cycle(small_platform):
     engine, _ = _run(small_platform, "xlnx", Pattern.CCS, TWO_TO_ONE, 32,
-                     False)
+                     "legacy")
     assert engine.stepped_cycles == engine.config.cycles
 
 
-@pytest.mark.parametrize("fast", [True, False], ids=["fast", "legacy"])
-def test_drain_restores_outstanding_limits(small_platform, fast):
+@pytest.mark.parametrize("engine", ENGINE_TIERS)
+def test_drain_restores_outstanding_limits(small_platform, engine):
     """Draining suspends issue credits; they must come back afterwards.
 
     Regression test: ``drain()`` used to zero ``outstanding_limit``
     permanently, so a drained engine could never issue again."""
     fabric = MaoFabric(small_platform)
     sources = make_pattern_sources(Pattern.CCS, small_platform, burst_len=8)
-    cfg = SimConfig(cycles=600, warmup=100, outstanding=16, fast_path=fast)
-    engine = Engine(fabric, sources, cfg)
-    engine.run()
-    limits_before = [mp.outstanding_limit for mp in engine.masters]
-    assert limits_before == [16] * len(engine.masters)
-    engine.drain()
-    assert [mp.outstanding_limit for mp in engine.masters] == limits_before
-    assert all(mp.outstanding == 0 for mp in engine.masters)
+    cfg = SimConfig(cycles=600, warmup=100, outstanding=16, engine=engine)
+    eng = Engine(fabric, sources, cfg)
+    eng.run()
+    limits_before = [mp.outstanding_limit for mp in eng.masters]
+    assert limits_before == [16] * len(eng.masters)
+    eng.drain()
+    assert [mp.outstanding_limit for mp in eng.masters] == limits_before
+    assert all(mp.outstanding == 0 for mp in eng.masters)
     assert fabric.quiescent()
 
 
@@ -171,22 +226,38 @@ class _LossyFabric(IdealFabric):
         super()._on_read_data(txn, time)
 
 
-@pytest.mark.parametrize("fast", [True, False], ids=["fast", "legacy"])
-def test_drain_detects_lost_transactions(small_platform, fast):
+@pytest.mark.parametrize("engine", ENGINE_TIERS)
+def test_drain_detects_lost_transactions(small_platform, engine):
     """A fabric that loses transactions must fail the drain loudly (the
-    conservation invariant), on both engine paths — the fast path's
-    horizon jumps must not turn the deadlock into an endless spin or a
-    silent pass."""
+    conservation invariant), on every engine tier — horizon jumps must
+    not turn the deadlock into an endless spin or a silent pass."""
     fabric = _LossyFabric(small_platform)
     sources = make_pattern_sources(Pattern.CCS, small_platform, burst_len=8)
-    cfg = SimConfig(cycles=400, warmup=100, outstanding=8, fast_path=fast)
-    engine = Engine(fabric, sources, cfg)
-    engine.run()
-    assert sum(mp.outstanding for mp in engine.masters) > 0
+    cfg = SimConfig(cycles=400, warmup=100, outstanding=8, engine=engine)
+    eng = Engine(fabric, sources, cfg)
+    eng.run()
+    assert sum(mp.outstanding for mp in eng.masters) > 0
     with pytest.raises(SimulationError, match="drain"):
-        engine.drain(max_cycles=20_000)
+        eng.drain(max_cycles=20_000)
     # The limits are restored even on the failure path.
-    assert all(mp.outstanding_limit == 8 for mp in engine.masters)
+    assert all(mp.outstanding_limit == 8 for mp in eng.masters)
+
+
+def test_lossy_subclass_is_bit_identical(small_platform):
+    """A fabric *subclass* overriding a completion hook must still agree
+    across tiers: the vector stepper keys its specializations on method
+    identity, and ``_LossyFabric`` keeps ``IdealFabric.step``, so it gets
+    the transit stepper with its own ``_on_read_data``."""
+    reports = {}
+    for engine in ENGINE_TIERS:
+        fabric = _LossyFabric(small_platform)
+        sources = make_pattern_sources(Pattern.CCS, small_platform,
+                                       burst_len=8)
+        cfg = SimConfig(cycles=400, warmup=100, outstanding=8, engine=engine)
+        eng = Engine(fabric, sources, cfg)
+        reports[engine] = eng.run()
+    assert reports["fast"] == reports["legacy"]
+    assert reports["vector"] == reports["legacy"]
 
 
 def test_fast_path_env_override(monkeypatch):
@@ -196,3 +267,16 @@ def test_fast_path_env_override(monkeypatch):
     assert SimConfig().fast_path is True
     monkeypatch.delenv("REPRO_FAST_PATH")
     assert SimConfig().fast_path is True
+
+
+def test_engine_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "vector")
+    cfg = SimConfig()
+    assert cfg.engine == "vector"
+    assert cfg.fast_path is True
+    monkeypatch.setenv("REPRO_ENGINE", "legacy")
+    cfg = SimConfig()
+    assert cfg.engine == "legacy"
+    assert cfg.fast_path is False
+    monkeypatch.delenv("REPRO_ENGINE")
+    assert SimConfig().engine == "fast"

@@ -40,15 +40,16 @@ GRID = [
 
 
 def _run(small_platform, fabric_key, pattern, rw, *, telemetry,
-         fast_path=True, cycles=1200, interval=64, outstanding=32):
+         fast_path=True, cycles=1200, interval=64, outstanding=32,
+         engine=None):
     fabric = FABRICS[fabric_key](small_platform)
     sources = make_pattern_sources(pattern, small_platform, burst_len=8,
                                    rw=rw, address_map=fabric.address_map)
     cfg = SimConfig(cycles=cycles, warmup=300, fast_path=fast_path,
-                    outstanding=outstanding,
+                    outstanding=outstanding, engine=engine or "",
                     telemetry=telemetry, telemetry_interval=interval)
-    engine = Engine(fabric, sources, cfg)
-    return engine, engine.run()
+    engine_ = Engine(fabric, sources, cfg)
+    return engine_, engine_.run()
 
 
 # -- metrics primitives ------------------------------------------------------
@@ -214,6 +215,39 @@ def test_telemetry_finals_loop_invariant_despite_jumps(small_platform):
     for probe in tf.probes:
         if probe.kind == COUNTER:
             assert finals_f[probe.name] == finals_l[probe.name], probe.name
+
+
+@pytest.mark.parametrize("engine", ["legacy", "fast", "vector"])
+def test_non_dividing_interval_is_still_pure(small_platform, engine):
+    """Latent gap: with a sampling interval that does *not* divide the
+    engines' jump lengths (97 is prime), the next scheduled sample falls
+    mid-jump and must be realigned, not simulated — telemetry stays a
+    pure observer on every tier, and the report is bit-identical to the
+    telemetry-off run of the same tier."""
+    _, plain = _run(small_platform, "ideal", Pattern.SCRA, READ_ONLY,
+                    telemetry=False, outstanding=1, interval=97,
+                    engine=engine)
+    eng, observed = _run(small_platform, "ideal", Pattern.SCRA, READ_ONLY,
+                         telemetry=True, outstanding=1, interval=97,
+                         engine=engine)
+    assert plain == observed
+    if engine != "legacy":
+        assert eng.telemetry.jumps  # the interval was actually exercised
+        assert any(c % 97 != 0 for c in eng.telemetry.sample_cycles)
+
+
+@pytest.mark.parametrize("engine", ["legacy", "fast", "vector"])
+def test_non_dividing_interval_reports_identical_across_engines(
+        small_platform, engine):
+    """And across tiers: the non-dividing interval must not open a gap
+    between any engine's report and the legacy oracle's."""
+    _, report = _run(small_platform, "ideal", Pattern.SCRA, READ_ONLY,
+                     telemetry=True, outstanding=1, interval=97,
+                     engine=engine)
+    _, oracle = _run(small_platform, "ideal", Pattern.SCRA, READ_ONLY,
+                     telemetry=True, outstanding=1, interval=97,
+                     engine="legacy")
+    assert report == oracle
 
 
 # -- exporters ---------------------------------------------------------------
