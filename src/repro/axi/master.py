@@ -129,7 +129,9 @@ class MasterPort:
             if txn is None:
                 txn = self.source.next_txn(cycle)
                 if txn is None:
-                    self.exhausted = True
+                    # Re-derived from source position on every step; the
+                    # SoA image deliberately omits it.
+                    self.exhausted = True  # statecheck: derived
                     return
             if not fabric.submit(txn, cycle):
                 # Ingress backpressure: retry the same transaction later.

@@ -10,11 +10,18 @@ bugs (see DESIGN.md §7):
   without simulating (``repro-hbm check``).
 * :mod:`repro.check.lint` — AST lint forbidding nondeterminism sources
   in ``src/`` (``repro-hbm check --lint``).
+* :mod:`repro.check.statecheck` — whole-program state-coverage /
+  observer-purity / waker-audit analysis proving the engine tiers
+  cannot silently drift (``repro-hbm check --state``).
 """
 
-from .findings import Finding, Report, render
+from .findings import Finding, Report, render, render_json
 from .lint import lint_source, lint_tree
 from .sanitizer import CheckedBankSet, Sanitizer
+from .statecheck import (check_observer_purity, check_state,
+                         check_state_coverage, check_waker_audit,
+                         component_inventory, render_state_report,
+                         state_stats)
 from .static import (WaitGraph, build_wait_graph, check_address_map,
                      check_all, check_config, check_credits,
                      check_experiment, check_fault_plan, check_topology,
@@ -24,6 +31,14 @@ __all__ = [
     "Finding",
     "Report",
     "render",
+    "render_json",
+    "check_observer_purity",
+    "check_state",
+    "check_state_coverage",
+    "check_waker_audit",
+    "component_inventory",
+    "render_state_report",
+    "state_stats",
     "lint_source",
     "lint_tree",
     "CheckedBankSet",

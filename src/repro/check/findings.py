@@ -62,9 +62,22 @@ class Report:
         return not self.errors
 
 
+def _ordered(findings: Sequence[Finding]) -> List[Finding]:
+    rank = {s: i for i, s in enumerate(SEVERITIES)}
+    return sorted(findings, key=lambda f: (rank[f.severity], f.code,
+                                           f.location, f.message))
+
+
 def render(findings: Sequence[Finding]) -> str:
     """Deterministic text rendering (sorted by severity, code, location)."""
-    rank = {s: i for i, s in enumerate(SEVERITIES)}
-    ordered = sorted(findings, key=lambda f: (rank[f.severity], f.code,
-                                              f.location, f.message))
-    return "\n".join(str(f) for f in ordered)
+    return "\n".join(str(f) for f in _ordered(findings))
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable rendering (same ordering as :func:`render`);
+    the CI mutation-self-test leg uploads this as a build artifact."""
+    import json
+    return json.dumps(
+        [{"severity": f.severity, "code": f.code, "message": f.message,
+          "location": f.location} for f in _ordered(findings)],
+        indent=2, sort_keys=True)

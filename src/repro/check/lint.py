@@ -18,6 +18,15 @@ the four ways that property has historically been lost:
   hash-randomized across runs for str elements.
 * **DL004 — mutable default arguments**: ``def f(x=[])`` aliases state
   across calls; sim-state classes have silently shared queues this way.
+* **DL005 — float equality**: ``==``/``!=`` against a float literal,
+  ``float()`` call, or ``math.inf``/``math.nan`` — cycle math must stay
+  integral, and exact float comparison is how drift between the scalar
+  and vector engine tiers hides.  Deliberate exact tests (sentinel
+  probes, rate == 1.0 fast paths) carry the pragma.
+
+Attribute chains are flattened by :func:`repro.check.astutil.dotted`,
+which sees through calls — ``random.Random().random()`` is still an
+unseeded-RNG chain even though an ``ast.Call`` sits mid-chain.
 
 Run via ``repro-hbm check --lint`` or the pytest gate
 (``tests/test_check_lint.py``); CI runs both.
@@ -27,9 +36,13 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
+from .astutil import default_src_root, dotted as _dotted, pragma_lines
 from .findings import Finding
+
+__all__ = ["PRAGMA", "default_src_root", "lint_paths", "lint_source",
+           "lint_tree"]
 
 #: Per-line suppression marker.
 PRAGMA = "det-lint: allow"
@@ -48,16 +61,8 @@ _WALL_CLOCK = {
 }
 _ENTROPY = {("uuid", "uuid4"), ("uuid", "uuid1"), ("os", "urandom")}
 
-
-def _dotted(node: ast.AST) -> Tuple[str, ...]:
-    """Flatten an attribute chain to name parts (best effort)."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-    return tuple(reversed(parts))
+#: Float sentinels whose ``==``/``!=`` comparison DL005 flags.
+_FLOAT_SENTINELS = {("math", "inf"), ("math", "nan")}
 
 
 class _Visitor(ast.NodeVisitor):
@@ -143,11 +148,35 @@ class _Visitor(ast.NodeVisitor):
         self._check_defaults(node)
         self.generic_visit(node)
 
+    # -- DL005: float equality -----------------------------------------------
+
+    @classmethod
+    def _is_floaty(cls, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return cls._is_floaty(node.operand)
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "float"):
+            return True
+        return _dotted(node)[-2:] in _FLOAT_SENTINELS
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    self._is_floaty(left) or self._is_floaty(right)):
+                self._report(node, "DL005",
+                             "float equality comparison: cycle math must "
+                             "stay integral (restructure, or acknowledge a "
+                             f"deliberate exact test with '# {PRAGMA}')")
+                break
+        self.generic_visit(node)
+
 
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source text."""
-    allowed = {i for i, line in enumerate(source.splitlines(), start=1)
-               if PRAGMA in line}
+    allowed = pragma_lines(source, PRAGMA)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -171,8 +200,3 @@ def lint_paths(paths: Iterable[Path],
 def lint_tree(root: Path) -> List[Finding]:
     """Lint every ``*.py`` under ``root`` (the ``src/`` gate)."""
     return lint_paths(root.rglob("*.py"), root=root.parent)
-
-
-def default_src_root() -> Path:
-    """The installed package's source root (``src/repro``)."""
-    return Path(__file__).resolve().parent.parent

@@ -154,7 +154,7 @@ class FuzzCase:
     def fault_plan(self) -> FaultPlan:
         return build_fault_plan(self.fault, self.cycles, self.seed)
 
-    def build(self) -> Tuple[Any, List]:
+    def build(self) -> Tuple[Any, List[Any]]:
         """Fresh (fabric, sources) for one run of this case."""
         platform = self.platform
         fab = make_fabric(self.fabric, platform)

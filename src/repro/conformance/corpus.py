@@ -15,10 +15,13 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from ..errors import ConfigError
 from .case import FuzzCase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .driver import Failure
 
 
 def default_corpus_dir() -> Path:
@@ -38,7 +41,8 @@ def entry_name(case: FuzzCase, kind: str) -> str:
     return f"{kind}-{digest}.json"
 
 
-def write_entry(corpus_dir, case: FuzzCase, failures: Sequence,
+def write_entry(corpus_dir: Union[str, Path], case: FuzzCase,
+                failures: Sequence["Failure"],
                 *, seed: int, budget: int) -> str:
     """Persist one minimized failing case; returns the file path."""
     directory = Path(corpus_dir)
@@ -59,7 +63,7 @@ def write_entry(corpus_dir, case: FuzzCase, failures: Sequence,
     return str(path)
 
 
-def load_entry(path) -> FuzzCase:
+def load_entry(path: Union[str, Path]) -> FuzzCase:
     """Rebuild the case of one corpus file (cross-checked bit-exactly
     against its embedded ``SimConfig``/``FaultPlan`` dumps)."""
     with open(path) as fh:
@@ -69,7 +73,7 @@ def load_entry(path) -> FuzzCase:
     return FuzzCase.from_dict(payload["case"])
 
 
-def list_entries(corpus_dir=None) -> List[Path]:
+def list_entries(corpus_dir: Optional[Union[str, Path]] = None) -> List[Path]:
     """Corpus files, sorted for deterministic replay order."""
     directory = Path(corpus_dir) if corpus_dir is not None \
         else default_corpus_dir()
@@ -79,7 +83,7 @@ def list_entries(corpus_dir=None) -> List[Path]:
                   if p.suffix == ".json" and p.is_file())
 
 
-def replay(corpus_dir=None) -> List[str]:
+def replay(corpus_dir: Optional[Union[str, Path]] = None) -> List[str]:
     """Re-run every committed corpus entry; returns failure lines
     (empty = every past finding stays fixed)."""
     from .driver import run_case

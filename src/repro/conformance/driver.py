@@ -38,7 +38,7 @@ from .space import ParamSpace
 #: The exhaustive core space: every fabric x pattern combination at the
 #: paper's default knobs.  Small enough to enumerate fully, and the axis
 #: pair where interaction bugs are most likely to hide.
-CORE_DIMS = {
+CORE_DIMS: Dict[str, Tuple[object, ...]] = {
     "fabric": ("ideal", "xlnx", "mao"),
     "pattern": ("SCS", "CCS", "SCRA", "CCRA"),
     "rw": ("2:1",),
@@ -52,7 +52,7 @@ CORE_DIMS = {
 
 #: The broad space, sampled pairwise.  Dimension values are ordered most
 #: benign first — the shrinker walks each dimension toward index 0.
-BROAD_DIMS = {
+BROAD_DIMS: Dict[str, Tuple[object, ...]] = {
     "fabric": ("ideal", "xlnx", "mao"),
     "pattern": ("SCS", "CCS", "SCRA", "CCRA"),
     "rw": ("2:1", "1:0", "0:1", "1:1"),
@@ -188,7 +188,7 @@ def _fails_like(case: FuzzCase, kinds: Sequence[str]) -> bool:
     return any(f.kind in kinds for f in result.failures)
 
 
-def shrink(case: FuzzCase, dims: Optional[Dict[str, tuple]] = None,
+def shrink(case: FuzzCase, dims: Optional[Dict[str, Tuple[object, ...]]] = None,
            ) -> Tuple[FuzzCase, int]:
     """Greedy dimension shrinking toward a minimal failing config.
 
@@ -382,7 +382,7 @@ def campaign_cases(budget: int, seed: int) -> List[FuzzCase]:
 
 def run_campaign(budget: int = 200, seed: int = 0, *, minimize: bool = True,
                  corpus_dir: Optional[str] = None,
-                 progress=None,
+                 progress: Optional[Callable[["CaseResult"], None]] = None,
                  journal_path: Optional[str] = None,
                  resume_from: Optional[str] = None,
                  max_minutes: Optional[float] = None,

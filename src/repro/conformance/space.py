@@ -48,14 +48,15 @@ _CANDIDATES_PER_ROUND = 8
 class ParamSpace:
     """A named, ordered parameter space with a deterministic sampler."""
 
-    def __init__(self, dims: Mapping[str, Sequence], mode: str = "full",
+    def __init__(self, dims: Mapping[str, Sequence[object]],
+                 mode: str = "full",
                  seed: int = 0) -> None:
         if mode not in ("full", "pairwise"):
             raise ConfigError(f"mode must be 'full' or 'pairwise', "
                               f"got {mode!r}")
         if not dims:
             raise ConfigError("a ParamSpace needs at least one dimension")
-        self.dims: Dict[str, Tuple] = {}
+        self.dims: Dict[str, Tuple[object, ...]] = {}
         for name, values in dims.items():
             vals = tuple(values)
             if not vals:
@@ -194,7 +195,7 @@ class ParamSpace:
         win, so putting the exhaustive core space first keeps its
         complete product intact.
         """
-        seen: Set[Tuple] = set()
+        seen: Set[Tuple[object, ...]] = set()
         out: List[Sample] = []
         for space in spaces:
             for sample in space.samples():
@@ -205,7 +206,7 @@ class ParamSpace:
         return out
 
 
-def missing_pairs(dims: Mapping[str, Sequence],
+def missing_pairs(dims: Mapping[str, Sequence[object]],
                   samples: Sequence[Mapping[str, object]]) -> Set[Pair]:
     """Value pairs of ``dims`` not covered by ``samples`` (empty = proof
     of the 2-way guarantee).  Samples missing one of the two dimensions
@@ -223,7 +224,7 @@ def missing_pairs(dims: Mapping[str, Sequence],
     return remaining
 
 
-def covers_all_pairs(dims: Mapping[str, Sequence],
+def covers_all_pairs(dims: Mapping[str, Sequence[object]],
                      samples: Sequence[Mapping[str, object]]) -> bool:
     """True iff ``samples`` is a 2-way covering array for ``dims``."""
     return not missing_pairs(dims, samples)

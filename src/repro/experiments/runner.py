@@ -130,8 +130,9 @@ def _cmd_check(args) -> tuple:
     """Static analyzer / lint front end; returns (text, exit code)."""
     from ..check import lint as lint_mod
     from ..check import static as static_mod
-    from ..check.findings import render
+    from ..check.findings import render, render_json
     chunks: List[str] = []
+    json_findings: List = []
     ok = True
     if args.keys or args.all:
         keys = sorted(EXPERIMENTS) if args.all else args.keys
@@ -139,8 +140,9 @@ def _cmd_check(args) -> tuple:
                    for k in keys}
         text, exp_ok = static_mod.render_experiment_report(results)
         chunks.append(text)
+        json_findings.extend(f for fs in results.values() for f in fs)
         ok = ok and exp_ok
-    elif not args.lint:
+    elif not (args.lint or args.state):
         # Ad-hoc config check: one fabric kind under the given knobs.
         from ..sim import SimConfig
         cfg = SimConfig(cycles=args.cycles or 12_000,
@@ -149,6 +151,7 @@ def _cmd_check(args) -> tuple:
             FabricKind(args.fabric), cfg, location=args.fabric)
         chunks.append(render(findings) if findings
                       else f"{args.fabric}: no findings")
+        json_findings.extend(findings)
         ok = ok and not any(f.severity == "error" for f in findings)
     if args.lint:
         root = lint_mod.default_src_root()
@@ -156,7 +159,17 @@ def _cmd_check(args) -> tuple:
         if findings:
             chunks.append(render(findings))
             ok = False
+        json_findings.extend(findings)
         chunks.append(f"determinism lint: {len(findings)} finding(s)")
+    if args.state or args.all:
+        from ..check import statecheck as state_mod
+        findings = state_mod.check_state()
+        chunks.append(state_mod.render_state_report(
+            findings, state_mod.state_stats()))
+        json_findings.extend(findings)
+        ok = ok and not any(f.severity == "error" for f in findings)
+    if args.json:
+        chunks = [render_json(json_findings)]
     return "\n".join(chunks), 0 if ok else 1
 
 
@@ -236,11 +249,17 @@ def _cmd_run(keys: List[str], cycles: Optional[int]) -> str:
     # static finding (broken address map, impossible fault plan) aborts
     # the whole run-set up front.
     from ..check import static as static_mod
+    from ..check import statecheck as state_mod
     from ..check.findings import render
     from ..errors import ConfigError
     errors = [f for key in keys
               for f in static_mod.check_experiment(key, cycles)
               if f.severity == "error"]
+    # The state analyzer gates too: an uncovered sim-state field or a
+    # waker bypass means the engine tiers can silently diverge, which
+    # would poison every number the run produces.
+    errors.extend(f for f in state_mod.check_state()
+                  if f.severity == "error")
     if errors:
         raise ConfigError(
             "static pre-validation failed:\n" + render(errors))
@@ -359,6 +378,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="validate every registry experiment")
     p_check.add_argument("--lint", action="store_true",
                          help="run the determinism lint over the sources")
+    p_check.add_argument("--state", action="store_true",
+                         help="run the state-coverage / observer-purity / "
+                              "waker-audit analyzer over the sources "
+                              "(also included in --all)")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit findings as JSON instead of text")
     p_check.add_argument("--cycles", type=int, default=None,
                          help="horizon used for fault-plan liveness checks")
     p_check.add_argument("--fabric", choices=[f.value for f in FabricKind],

@@ -46,7 +46,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Deque, Dict, List, Optional, Sequence,
+                    Set, Tuple)
 
 from ..errors import SweepError
 
@@ -244,8 +245,8 @@ class SupervisedPool:
         if len(outcome.results) != len(items):
             raise ValueError("results seed must have one slot per item")
 
-        queue: deque = deque(todo)
-        dispatched: set = set()
+        queue: Deque[int] = deque(todo)
+        dispatched: Set[int] = set()
         crashes: Dict[int, int] = {}     # index -> pool-fatal attempts
         fail_kind: Dict[int, str] = {}   # index -> "crash" | "timeout"
         pool: Optional[ProcessPoolExecutor] = None

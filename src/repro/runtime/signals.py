@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import signal
 from types import FrameType
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 
 class GracefulShutdown:
     """Two-stage SIGINT/SIGTERM handler (see module docstring)."""
 
-    def __init__(self, signals: tuple = (signal.SIGINT, signal.SIGTERM),
+    def __init__(self,
+                 signals: Tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
                  on_request: Optional[Callable[[], None]] = None) -> None:
         self._signals = signals
         self._on_request = on_request

@@ -111,7 +111,8 @@ def chrome_trace(
         samples = telemetry.samples
         for i, probe in enumerate(telemetry.probes):
             first = samples[0][i]
-            if all(row[i] == first for row in samples) and first == 0.0:
+            if (all(row[i] == first for row in samples)
+                    and first == 0.0):  # det-lint: allow (exact 0 sentinel)
                 continue  # never active: don't clutter the timeline
             is_counter = probe.kind == COUNTER
             prev = first if is_counter else None

@@ -184,7 +184,8 @@ class Telemetry:
         """
         return {p.name: self.high_water[i]
                 for i, p in enumerate(self.probes.probes)
-                if p.kind == GAUGE and self.high_water[i] != -math.inf}
+                if p.kind == GAUGE
+                and self.high_water[i] != -math.inf}  # det-lint: allow (exact never-sampled sentinel)
 
     def histogram(self, name: str) -> Log2Histogram:
         i = self.index_of(name)

@@ -45,6 +45,14 @@ def test_dl001_seeded_generators_allowed():
     assert _codes("import numpy as np\nr = np.random.default_rng(42)\n") == []
 
 
+def test_dl001_sees_through_call_chains():
+    """``random.Random().random()`` puts an ``ast.Call`` mid-chain; the
+    dotted-name flattener must see through it (regression: this used to
+    escape because the chain broke at the inner call)."""
+    assert _codes("import random\nx = random.Random().random()\n") \
+        == ["DL001"]
+
+
 # -- DL002: wall-clock reads --------------------------------------------------
 
 def test_dl002_wall_clock_reads():
@@ -74,6 +82,35 @@ def test_dl004_mutable_defaults():
     assert _codes("def f(*, x={}):\n    pass\n") == ["DL004"]
     assert _codes("def f(x=dict()):\n    pass\n") == ["DL004"]
     assert _codes("def f(x=(), y=None):\n    pass\n") == []
+
+
+# -- DL005: float equality ----------------------------------------------------
+
+def test_dl005_float_literal_equality():
+    assert _codes("ok = x == 1.5\n") == ["DL005"]
+    assert _codes("ok = 0.0 != y\n") == ["DL005"]
+    assert _codes("ok = x == -2.5\n") == ["DL005"]
+
+
+def test_dl005_float_call_and_sentinels():
+    assert _codes("ok = x == float(s)\n") == ["DL005"]
+    assert _codes("import math\nok = x == math.inf\n") == ["DL005"]
+    assert _codes("import math\nok = x != math.nan\n") == ["DL005"]
+
+
+def test_dl005_chained_comparison_reported_once():
+    assert _codes("ok = 0.0 == x == 1.0\n") == ["DL005"]
+
+
+def test_dl005_ordering_and_int_comparisons_allowed():
+    assert _codes("ok = x <= 1.5\n") == []
+    assert _codes("ok = x == 1\n") == []
+    assert _codes("ok = x >= float(s)\n") == []
+
+
+def test_dl005_pragma_acknowledges_exact_test():
+    assert _codes("ok = rate == 1.0  # det-lint: allow (exact config)\n") \
+        == []
 
 
 # -- plumbing -----------------------------------------------------------------

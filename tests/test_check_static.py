@@ -139,6 +139,51 @@ def test_wait_graph_self_loop():
     assert g.deadlock_cycles() == [["x"]]
 
 
+def test_wait_graph_drained_self_loop():
+    g = WaitGraph()
+    g.add_edge("x", "x")
+    g.mark_drains("x")
+    assert g.cycles() == [["x"]]
+    assert g.deadlock_cycles() == []
+
+
+def test_wait_graph_empty_and_edgeless():
+    assert WaitGraph().cycles() == []
+    g = WaitGraph()
+    g.mark_drains("lonely")  # a node with no edges is not a cycle
+    g.add_edge("a", "b")     # nor is an acyclic chain
+    assert g.cycles() == []
+    assert g.deadlock_cycles() == []
+
+
+def test_wait_graph_disconnected_components():
+    """Two independent cycles in disconnected components are both found,
+    each reported once, never merged."""
+    g = WaitGraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "a")
+    g.add_edge("p", "q")
+    g.add_edge("q", "p")
+    g.add_edge("iso1", "iso2")  # acyclic third component
+    g.mark_drains("q")
+    assert g.cycles() == [["a", "b"], ["p", "q"]]
+    assert g.deadlock_cycles() == [["a", "b"]]
+
+
+def test_wait_graph_ordering_is_insertion_independent():
+    """Cycle reports are sorted, not discovery-ordered: the analyzer's
+    output feeds golden files, so edge insertion order must not leak."""
+    def build(edges):
+        g = WaitGraph()
+        for s, d in edges:
+            g.add_edge(s, d)
+        return g.cycles()
+
+    edges = [("m", "n"), ("n", "m"), ("c", "d"), ("d", "c")]
+    assert build(edges) == build(list(reversed(edges))) \
+        == [["c", "d"], ["m", "n"]]
+
+
 def test_segmented_topology_cycle_is_drained(small_platform):
     """The shared lateral buses form the textbook req/resp cycle; the
     model drains it by metering the bus, reported as info not error."""

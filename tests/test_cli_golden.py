@@ -62,6 +62,10 @@ CASES = {
     "check_fig6.txt": ["check", "fig6"],
     "check_adhoc_mao_o64.txt": [
         "check", "--fabric", "mao", "--outstanding", "64"],
+    # The state analyzer reports fixed coverage stats plus sorted
+    # findings — golden-stable, and the pinned numbers double as a
+    # tripwire: growing the component tables shows up as a diff here.
+    "check_state.txt": ["check", "--state"],
 }
 
 
