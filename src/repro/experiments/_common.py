@@ -16,6 +16,21 @@ from .. import make_fabric
 DEFAULT_CYCLES = 12_000
 
 
+def measure_key(cache_key: Tuple, *, cycles: int, outstanding: int,
+                faults=None) -> Tuple:
+    """The *full* cache key :func:`measure` stores its report under.
+
+    ``measure`` folds ``cycles``/``outstanding``/``faults`` into the
+    caller's :func:`~repro.sim.cache.sweep_key` so a faulted point can
+    never collide with its fault-free twin.  The service layer
+    (:mod:`repro.service`) rebuilds the same key to answer queries from
+    entries any experiment sweep already wrote — keep the shape here, in
+    one place, or warm caches silently stop matching.
+    """
+    return (cache_key, ("cycles", cycles), ("outstanding", outstanding),
+            ("faults", repr(faults) if faults is not None else None))
+
+
 def measure(
     fabric_kind: FabricKind,
     sources: Sequence,
@@ -39,9 +54,8 @@ def measure(
     """
     if cache_key is not None:
         cache = cache if cache is not None else DEFAULT_CACHE
-        full_key = (cache_key, ("cycles", cycles),
-                    ("outstanding", outstanding),
-                    ("faults", repr(faults) if faults is not None else None))
+        full_key = measure_key(cache_key, cycles=cycles,
+                               outstanding=outstanding, faults=faults)
         hit = cache.lookup(full_key)
         if hit is not MISS:
             return hit

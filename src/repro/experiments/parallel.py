@@ -33,11 +33,13 @@ per-point workers at module scope for exactly this reason.
 from __future__ import annotations
 
 import base64
+import dataclasses
 import hashlib
 import os
 import pickle
+import re
 import warnings
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple, TypeVar
 
 from ..runtime import (RunJournal, JournalState, SupervisedPool,
                        SweepOutcome, TaskFailure, get_active_journal,
@@ -62,15 +64,70 @@ def default_workers() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
-def _task_id(index: int, item, key: Optional[tuple]) -> str:
+#: Default ``object.__repr__`` embeds the instance's memory address —
+#: different every process, so it can never serve as a resume identity.
+_ADDR_REPR = re.compile(r" at 0x[0-9a-fA-F]+")
+
+#: Types already warned about for unstable reprs (once per type, not per
+#: sweep point — a 1000-point sweep of one bad type warns once).
+_UNSTABLE_WARNED: Set[type] = set()
+
+
+def _stable_repr(item: Any) -> str:
+    """A ``repr``-like string that is identical across processes.
+
+    ``repr`` is the natural normalization for sweep items (it is what the
+    cache keys use), but the default ``object.__repr__`` embeds a memory
+    address: an item without a custom ``__repr__`` got a different
+    journal id in every process, silently defeating ``--resume``
+    matching.  This walk keeps structured containers and dataclasses
+    field-by-field (so one unstable leaf cannot poison its siblings) and
+    masks the address of any leaf that still reprs unstably — with a
+    warning, because a masked id identifies the item only by type and
+    sweep position.
+    """
+    if dataclasses.is_dataclass(item) and not isinstance(item, type):
+        fields = ", ".join(
+            f"{f.name}={_stable_repr(getattr(item, f.name))}"
+            for f in dataclasses.fields(item))
+        return f"{type(item).__qualname__}({fields})"
+    if isinstance(item, tuple):
+        body = ", ".join(_stable_repr(x) for x in item)
+        return f"({body},)" if len(item) == 1 else f"({body})"
+    if isinstance(item, list):
+        return "[" + ", ".join(_stable_repr(x) for x in item) + "]"
+    if isinstance(item, (set, frozenset)):
+        body = ", ".join(sorted(_stable_repr(x) for x in item))
+        return f"{type(item).__name__}({{{body}}})"
+    if isinstance(item, dict):
+        pairs = sorted((_stable_repr(k), _stable_repr(v))
+                       for k, v in item.items())
+        return "{" + ", ".join(f"{k}: {v}" for k, v in pairs) + "}"
+    text = repr(item)
+    if _ADDR_REPR.search(text):
+        if type(item) not in _UNSTABLE_WARNED:
+            _UNSTABLE_WARNED.add(type(item))
+            warnings.warn(
+                f"sweep item of type {type(item).__qualname__} has an "
+                f"address-based repr ({text!r}); its journal id is "
+                f"derived from type and position only — give it a "
+                f"__repr__ (or pass key_fn) for a content-addressed "
+                f"resume identity",
+                RuntimeWarning, stacklevel=4)
+        text = _ADDR_REPR.sub(" at 0x0", text)
+    return text
+
+
+def _task_id(index: int, item: Any, key: Optional[tuple]) -> str:
     """Stable journal id for one sweep point.
 
     Content-addressed by the cache key when there is one (the strongest
-    identity: it already folds in the model version and every input),
-    by the item's ``repr`` otherwise.  The index prefix keeps ids unique
-    even when a sweep legitimately repeats a point.
+    identity: it already folds in the model version and every input), by
+    a process-stable structured digest of the item otherwise.  The index
+    prefix keeps ids unique even when a sweep legitimately repeats a
+    point.
     """
-    basis = repr(key) if key is not None else repr(item)
+    basis = repr(key) if key is not None else _stable_repr(item)
     digest = hashlib.sha1(basis.encode()).hexdigest()[:16]
     return f"{index}:{digest}"
 
@@ -104,6 +161,7 @@ def supervised_sweep(
     max_crash_retries: int = 2,
     quarantine: bool = True,
     drain_timeout: float = 30.0,
+    force_pool: bool = False,
 ) -> SweepOutcome:
     """Map ``fn`` over ``items`` under full supervision.
 
@@ -115,6 +173,11 @@ def supervised_sweep(
     re-simulation, and everything else is dispatched to a
     :class:`~repro.runtime.SupervisedPool` (or run inline for
     ``workers <= 1``, where per-task timeouts cannot preempt).
+
+    ``force_pool=True`` dispatches to the pool even for a single point —
+    the sweep service uses this to give *individual* jobs crash
+    isolation and preemptive timeouts, which the inline path cannot
+    provide.
     """
     n = default_workers() if workers is None else workers
     items = list(items)
@@ -169,7 +232,7 @@ def supervised_sweep(
     if not todo:
         return outcome
 
-    if n <= 1 or len(todo) <= 1:
+    if not force_pool and (n <= 1 or len(todo) <= 1):
         # Inline path: same hooks and stop semantics, no subprocesses
         # (and therefore no preemptive timeouts or crash isolation).
         for pos, i in enumerate(todo):

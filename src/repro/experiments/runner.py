@@ -13,6 +13,7 @@ Usage::
     repro-hbm check fig6 --lint    # one experiment + determinism lint
     repro-hbm fuzz --budget 200 --seed 0   # model-based conformance fuzzing
     repro-hbm fuzz --replay-corpus         # re-run committed fuzz findings
+    repro-hbm serve --port 8321            # HTTP estimate/advise/sweep service
 """
 
 from __future__ import annotations
@@ -103,6 +104,30 @@ def _cmd_cache(args) -> tuple:
                                  max_age_days=args.max_age_days).summary())
     lines.append(cache.stats().summary())
     return "\n".join(lines), 0
+
+
+def _cmd_serve(args) -> int:
+    """Sweep-service front end: build the store (and optionally the
+    precomputed surface), then serve until interrupted."""
+    from ..service import ResultStore
+    from ..service.http import run_server
+    store = ResultStore(directory=args.store_dir,
+                        max_memory_entries=args.mem_entries)
+    surface = None
+    if not args.no_surface:
+        from .surface import build_surface
+        print(f"precomputing sweep surface (cycles={args.cycles}, "
+              f"workers={args.workers}) ...", flush=True)
+        start = time.perf_counter()  # det-lint: allow (display only)
+        surface = build_surface(cycles=args.cycles, workers=args.workers,
+                                cache=store.cache)
+        elapsed = time.perf_counter() - start  # det-lint: allow
+        print(f"surface ready: {len(surface)} samples ({elapsed:.1f}s)",
+              flush=True)
+    run_server(args.host, args.port, store=store, surface=surface,
+               workers=args.queue_workers, default_cycles=args.cycles,
+               task_timeout=args.task_timeout, isolate=args.isolate)
+    return 0
 
 
 def _cmd_profile(args) -> str:
@@ -439,6 +464,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "fits this many bytes")
     p_cache.add_argument("--max-age-days", type=float, default=None,
                          help="prune entries older than this many days")
+    p_serve = sub.add_parser(
+        "serve", help="HTTP sweep service: estimate/advise served "
+                      "analytically, measured bandwidth from the shared "
+                      "result store, the precomputed surface, or an async "
+                      "dedup'ing simulation queue (see repro.service)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="TCP port (0 picks a free one)")
+    p_serve.add_argument("--cycles", type=int, default=3000,
+                         help="simulation horizon for served sweep points "
+                              "and the precomputed surface")
+    p_serve.add_argument("--store-dir", type=str, default=None,
+                         help="shared result-store directory (default: "
+                              "REPRO_SIM_CACHE_DIR)")
+    p_serve.add_argument("--mem-entries", type=int, default=4096,
+                         help="LRU bound of the in-memory store table — a "
+                              "long-lived server must not grow without "
+                              "limit (0 = unbounded)")
+    p_serve.add_argument("--no-surface", action="store_true",
+                         help="skip the start-up surface precompute; every "
+                              "cold query simulates")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="process workers for the surface precompute")
+    p_serve.add_argument("--queue-workers", type=int, default=1,
+                         help="concurrent simulation jobs in the serving "
+                              "queue")
+    p_serve.add_argument("--task-timeout", type=float, default=None,
+                         help="per-job timeout in seconds")
+    p_serve.add_argument("--isolate", action="store_true",
+                         help="run each queued simulation in a supervised "
+                              "worker process (crash isolation + "
+                              "preemptive timeouts)")
     for name, helptext in (("estimate", "analytical bandwidth estimate"),
                            ("advise", "check a design against the guidelines")):
         p = sub.add_parser(name, help=helptext)
@@ -507,6 +564,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _dispatch(args) -> int:
+    if args.command == "serve":
+        if args.mem_entries == 0:
+            args.mem_entries = None
+        return _cmd_serve(args)
     if args.command == "profile":
         text = _cmd_profile(args)
         if args.out:

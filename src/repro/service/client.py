@@ -1,0 +1,93 @@
+"""Small synchronous HTTP client for the sweep service.
+
+Stdlib ``urllib`` only — this is the helper the tests, the CI smoke job
+and scripted consumers use; it adds no behaviour beyond URL building,
+JSON decoding, and typed errors.  Each method mirrors one endpoint of
+:mod:`repro.service.http` and returns the decoded JSON body verbatim
+(the ``manifest`` key included), so callers see exactly what the wire
+carries.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, Optional
+
+from ..errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """Non-2xx response; carries the status and the decoded error body."""
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        self.status = status
+        self.body = body
+        super().__init__(
+            f"service returned {status}: {body.get('error', body)}")
+
+
+class ServiceClient:
+    """Client for one service base URL (e.g. ``http://127.0.0.1:8321``)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _get(self, path: str,
+             params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        url = self.base_url + path
+        if params:
+            url += "?" + urllib.parse.urlencode(
+                {k: v for k, v in params.items() if v is not None})
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode())
+            except (ValueError, OSError):
+                body = {"error": str(exc)}
+            raise ServiceClientError(exc.code, body) from exc
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness probe; raises on any non-2xx."""
+        return self._get("/healthz")
+
+    def estimate(self, *, pattern: str = "CCS", fabric: str = "xlnx",
+                 rw: str = "2:1", burst: int = 16,
+                 outstanding: int = 32) -> Dict[str, Any]:
+        """Closed-form analytic bandwidth estimate for a design point."""
+        return self._get("/v1/estimate", {
+            "pattern": pattern, "fabric": fabric, "rw": rw,
+            "burst": burst, "outstanding": outstanding})
+
+    def advise(self, *, pattern: str = "CCS", fabric: str = "xlnx",
+               rw: str = "2:1", burst: int = 16,
+               outstanding: int = 32) -> Dict[str, Any]:
+        """Design-guideline findings for a design point."""
+        return self._get("/v1/advise", {
+            "pattern": pattern, "fabric": fabric, "rw": rw,
+            "burst": burst, "outstanding": outstanding})
+
+    def sweep(self, *, pattern: str = "CCS", fabric: str = "xlnx",
+              rw: str = "2:1", burst: int = 16, outstanding: int = 32,
+              cycles: Optional[int] = None,
+              wait: bool = True) -> Dict[str, Any]:
+        """Measured bandwidth: store/surface fast path or a simulation.
+
+        ``wait=False`` turns a cold point into a 202-"pending" warm-up
+        enqueue instead of blocking on the simulation; the raised
+        :class:`ServiceClientError` is *not* used for 202 (it is a
+        success), so callers just check ``body.get("status")``.
+        """
+        return self._get("/v1/sweep", {
+            "pattern": pattern, "fabric": fabric, "rw": rw,
+            "burst": burst, "outstanding": outstanding,
+            "cycles": cycles, "wait": 1 if wait else 0})
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue counters, in-flight depth, and store footprint."""
+        return self._get("/v1/stats")

@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 import time
 import warnings
 from dataclasses import dataclass
@@ -107,13 +108,23 @@ class CacheStats:
     directory: Optional[str]
     entries: int
     total_bytes: int
+    #: ``*.pkl.tmp.<pid>`` spill files stranded by a writer that crashed
+    #: between the temp write and the atomic rename.  They are invisible
+    #: to lookups and removed by :meth:`SimCache.prune`.
+    orphan_tmp_files: int = 0
+    orphan_tmp_bytes: int = 0
 
     def summary(self) -> str:
         if not self.directory:
             return "sim cache: no disk directory configured (memory only)"
         mib = self.total_bytes / (1024 * 1024)
-        return (f"sim cache at {self.directory}: {self.entries} entr(ies), "
+        text = (f"sim cache at {self.directory}: {self.entries} entr(ies), "
                 f"{mib:.1f} MiB")
+        if self.orphan_tmp_files:
+            tmp_kib = self.orphan_tmp_bytes / 1024
+            text += (f"; {self.orphan_tmp_files} orphaned tmp file(s), "
+                     f"{tmp_kib:.1f} KiB (prune removes stale ones)")
+        return text
 
 
 @dataclass(frozen=True)
@@ -124,12 +135,35 @@ class PruneResult:
     freed_bytes: int
     remaining_entries: int
     remaining_bytes: int
+    #: Stale orphaned spill temp files swept (counted separately from
+    #: ``removed``; their bytes are included in ``freed_bytes``).
+    removed_tmp: int = 0
 
     def summary(self) -> str:
         mib = self.freed_bytes / (1024 * 1024)
         left = self.remaining_bytes / (1024 * 1024)
-        return (f"pruned {self.removed} entr(ies), freed {mib:.1f} MiB; "
+        text = (f"pruned {self.removed} entr(ies), freed {mib:.1f} MiB; "
                 f"{self.remaining_entries} entr(ies), {left:.1f} MiB remain")
+        if self.removed_tmp:
+            text += f"; swept {self.removed_tmp} orphaned tmp file(s)"
+        return text
+
+
+def _memory_bound_default() -> Optional[int]:
+    """In-memory entry bound from ``REPRO_SIM_CACHE_MEM`` (unset, empty,
+    or ``<= 0`` means unbounded — the right default for batch sweeps)."""
+    env = os.environ.get("REPRO_SIM_CACHE_MEM")
+    if not env:
+        return None
+    try:
+        bound = int(env)
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid REPRO_SIM_CACHE_MEM={env!r} (not an "
+            f"integer); the in-memory table stays unbounded",
+            RuntimeWarning, stacklevel=2)
+        return None
+    return bound if bound > 0 else None
 
 
 class SimCache:
@@ -137,11 +171,28 @@ class SimCache:
 
     Values must be picklable when a directory is configured; the sweep
     row dataclasses and :class:`~repro.sim.stats.SimReport` all are.
+
+    Safe for concurrent use from threads and asyncio tasks: the memory
+    table and hit/miss counters are guarded by an internal lock (process
+    pools never needed this — each worker had its own instance — but the
+    sweep service shares one cache across a whole event loop).
+
+    ``max_memory_entries`` bounds the in-memory table with LRU eviction;
+    evicted entries stay readable from disk.  Batch sweeps default to
+    unbounded (``None``); long-lived servers set a bound (or export
+    ``REPRO_SIM_CACHE_MEM``) so promoting every disk hit into memory
+    cannot grow without limit.
     """
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    def __init__(self, directory: Optional[str] = None,
+                 max_memory_entries: Optional[int] = None) -> None:
         self._directory = directory
         self._memory: Dict[Tuple, Any] = {}
+        self._lock = threading.RLock()
+        self._max_memory = (max_memory_entries if max_memory_entries
+                            is not None else _memory_bound_default())
+        if self._max_memory is not None and self._max_memory < 1:
+            self._max_memory = None
         self.hits = 0
         self.misses = 0
 
@@ -150,9 +201,81 @@ class SimCache:
         """Disk-spill directory; falls back to ``REPRO_SIM_CACHE_DIR``."""
         return self._directory or os.environ.get("REPRO_SIM_CACHE_DIR") or None
 
+    @property
+    def max_memory_entries(self) -> Optional[int]:
+        """LRU bound of the in-memory table (``None`` = unbounded)."""
+        return self._max_memory
+
+    def memory_entries(self) -> int:
+        """Current size of the in-memory table."""
+        with self._lock:
+            return len(self._memory)
+
     def _path(self, key: Tuple) -> str:
         digest = hashlib.sha1(repr(key).encode()).hexdigest()
         return os.path.join(self.directory, digest + ".pkl")
+
+    def _remember(self, key: Tuple, value: Any) -> None:
+        """Insert under the lock, evicting least-recently-used entries
+        beyond the bound.  Python dicts iterate in insertion order, and
+        every hit reinserts its key, so the first key is always the LRU."""
+        self._memory.pop(key, None)
+        self._memory[key] = value
+        if self._max_memory is not None:
+            while len(self._memory) > self._max_memory:
+                self._memory.pop(next(iter(self._memory)))
+
+    def _lookup(self, key: Tuple, count: bool) -> Any:
+        """Shared hit path of :meth:`lookup` and :meth:`__contains__`;
+        ``count`` gates the hit/miss accounting so a pure membership
+        probe never perturbs the counters (atomically — the old
+        save/restore dance raced concurrent lookups)."""
+        if not cache_enabled():
+            if count:
+                with self._lock:
+                    self.misses += 1
+            return MISS
+        with self._lock:
+            if key in self._memory:
+                value = self._memory[key]
+                if self._max_memory is not None:
+                    self._memory[key] = self._memory.pop(key)  # LRU touch
+                if count:
+                    self.hits += 1
+                return value
+            if self.directory:
+                path = self._path(key)
+                try:
+                    with open(path, "rb") as fh:
+                        stored_key, value = pickle.load(fh)
+                except FileNotFoundError:
+                    pass  # ordinary miss
+                except Exception as exc:
+                    # Corrupt, truncated, or schema-incompatible entry:
+                    # unpickling hostile bytes can raise nearly anything
+                    # (UnpicklingError, EOFError, AttributeError, ...).
+                    # Warn, delete the bad file so it never costs another
+                    # parse, and degrade to a miss.
+                    warnings.warn(
+                        f"discarding unreadable sim-cache entry {path}: "
+                        f"{type(exc).__name__}: {exc}",
+                        RuntimeWarning, stacklevel=3)
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+                else:
+                    # A stored key that fails to match is a filename
+                    # collision or a MODEL_VERSION mismatch — a miss,
+                    # never a wrong hit.
+                    if stored_key == key:
+                        self._remember(key, value)
+                        if count:
+                            self.hits += 1
+                        return value
+            if count:
+                self.misses += 1
+            return MISS
 
     def lookup(self, key: Tuple) -> Any:
         """Cached value for ``key``, or the :data:`MISS` sentinel.
@@ -162,42 +285,7 @@ class SimCache:
         result), and ``get(...) is None`` silently re-simulates it on
         every call.
         """
-        if not cache_enabled():
-            self.misses += 1
-            return MISS
-        if key in self._memory:
-            self.hits += 1
-            return self._memory[key]
-        if self.directory:
-            path = self._path(key)
-            try:
-                with open(path, "rb") as fh:
-                    stored_key, value = pickle.load(fh)
-            except FileNotFoundError:
-                pass  # ordinary miss
-            except Exception as exc:
-                # Corrupt, truncated, or schema-incompatible entry:
-                # unpickling hostile bytes can raise nearly anything
-                # (UnpicklingError, EOFError, AttributeError, ...).  Warn,
-                # delete the bad file so it never costs another parse, and
-                # degrade to a miss.
-                warnings.warn(
-                    f"discarding unreadable sim-cache entry {path}: "
-                    f"{type(exc).__name__}: {exc}",
-                    RuntimeWarning, stacklevel=2)
-                try:
-                    os.remove(path)
-                except OSError:
-                    pass
-            else:
-                # A stored key that fails to match is a filename collision
-                # or a MODEL_VERSION mismatch — a miss, never a wrong hit.
-                if stored_key == key:
-                    self._memory[key] = value
-                    self.hits += 1
-                    return value
-        self.misses += 1
-        return MISS
+        return self._lookup(key, count=True)
 
     def get(self, key: Tuple) -> Optional[Any]:
         """Cached value for ``key``, or ``None`` on a miss.
@@ -211,26 +299,25 @@ class SimCache:
 
     def __contains__(self, key: Tuple) -> bool:
         """Whether ``key`` would hit, without counting a hit or a miss."""
-        if not cache_enabled():
-            return False
-        hits, misses = self.hits, self.misses
-        found = self.lookup(key) is not MISS
-        self.hits, self.misses = hits, misses
-        return found
+        return self._lookup(key, count=False) is not MISS
 
     def put(self, key: Tuple, value: Any) -> None:
         if value is MISS:
             raise TypeError("MISS is a sentinel, not a cacheable value")
         if not cache_enabled():
             return
-        self._memory[key] = value
+        with self._lock:
+            self._remember(key, value)
         directory = self.directory
         if not directory:
             return
         try:
             os.makedirs(directory, exist_ok=True)
             path = self._path(key)
-            tmp = path + f".tmp.{os.getpid()}"
+            # The tmp suffix must be unique per *writer*, not just per
+            # process: two threads spilling the same key under one pid
+            # would otherwise race each other's os.replace.
+            tmp = path + f".tmp.{os.getpid()}-{threading.get_ident()}"
             with open(tmp, "wb") as fh:
                 pickle.dump((key, value), fh)
             os.replace(tmp, path)
@@ -270,15 +357,41 @@ class SimCache:
         out.sort(key=lambda e: (e[2], e[0]))
         return out
 
+    def _tmp_entries(self) -> List[Tuple[str, int, float]]:
+        """(path, size, mtime) of orphaned ``*.pkl.tmp.<pid>`` spill
+        files.  :meth:`put` writes the temp file then ``os.replace``\\ s it
+        into place; a crash between the two strands the temp forever, and
+        the ``*.pkl``-only :meth:`_entries` walk never saw them."""
+        directory = self.directory
+        if not directory or not os.path.isdir(directory):
+            return []
+        out: List[Tuple[str, int, float]] = []
+        for name in os.listdir(directory):
+            if ".pkl.tmp." not in name:
+                continue
+            path = os.path.join(directory, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue  # raced with the writer's os.replace
+            out.append((path, st.st_size, st.st_mtime))
+        out.sort(key=lambda e: (e[2], e[0]))
+        return out
+
     def stats(self) -> CacheStats:
-        """Entry count and byte footprint of the disk directory."""
+        """Entry count and byte footprint of the disk directory,
+        orphaned spill temp files included."""
         entries = self._entries()
+        tmps = self._tmp_entries()
         return CacheStats(directory=self.directory,
                           entries=len(entries),
-                          total_bytes=sum(size for _, size, _ in entries))
+                          total_bytes=sum(size for _, size, _ in entries),
+                          orphan_tmp_files=len(tmps),
+                          orphan_tmp_bytes=sum(size for _, size, _ in tmps))
 
     def prune(self, max_bytes: Optional[int] = None,
-              max_age_days: Optional[float] = None) -> PruneResult:
+              max_age_days: Optional[float] = None,
+              tmp_grace_seconds: float = 900.0) -> PruneResult:
         """Bound the disk directory's growth.
 
         ``max_age_days`` removes entries whose file mtime is older;
@@ -287,6 +400,12 @@ class SimCache:
         forever otherwise.  In-memory entries are untouched (they die
         with the process anyway); a pruned key simply misses and
         re-simulates.
+
+        Every prune also sweeps orphaned ``*.pkl.tmp.<pid>`` spill files
+        older than ``tmp_grace_seconds`` — debris of a writer that died
+        between its temp write and the atomic rename.  The age gate keeps
+        a *live* writer's in-progress temp file (written and renamed
+        within milliseconds) safe from a concurrent prune.
         """
         entries = self._entries()
         total = sum(size for _, size, _ in entries)
@@ -314,15 +433,28 @@ class SimCache:
                 continue  # raced or unwritable; leave it for next time
             removed += 1
             freed += size
+        removed_tmp = 0
+        tmp_cutoff = time.time() - tmp_grace_seconds  # det-lint: allow
+        for path, size, mtime in self._tmp_entries():
+            if mtime >= tmp_cutoff:
+                continue  # possibly a live writer mid-spill; keep it
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            removed_tmp += 1
+            freed += size
         return PruneResult(removed=removed, freed_bytes=freed,
                            remaining_entries=len(entries) - removed,
-                           remaining_bytes=total - freed)
+                           remaining_bytes=total - freed,
+                           removed_tmp=removed_tmp)
 
     def clear(self) -> None:
         """Drop in-memory entries (disk files are left alone)."""
-        self._memory.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 #: Process-wide cache used by the experiment helpers.

@@ -20,7 +20,8 @@ from .export import (chrome_trace, validate_chrome_trace,
                      write_chrome_trace)
 from .bottleneck import (BottleneckAnalysis, ComponentUtil, analyze,
                          bottleneck_report, format_report)
-from .manifest import MANIFEST_SCHEMA, build_manifest, write_manifest
+from .manifest import (MANIFEST_SCHEMA, build_manifest, service_manifest,
+                       write_manifest)
 
 __all__ = [
     "COUNTER",
@@ -40,5 +41,6 @@ __all__ = [
     "format_report",
     "MANIFEST_SCHEMA",
     "build_manifest",
+    "service_manifest",
     "write_manifest",
 ]

@@ -79,6 +79,47 @@ def build_manifest(
     return manifest
 
 
+def service_manifest(
+    endpoint: str,
+    platform: HbmPlatform,
+    *,
+    source: str,
+    inputs: Optional[Dict[str, Any]] = None,
+    entry: Optional[str] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Provenance record attached to every sweep-service response.
+
+    The serving-tier sibling of :func:`build_manifest`: instead of one
+    run's ``SimConfig`` it records *where the answer came from* —
+    ``source`` is ``store`` / ``simulated`` / ``deduped`` /
+    ``interpolated`` / ``analytic`` — plus the normalized query
+    ``inputs`` and, for store-backed answers, the content-addressed
+    ``entry`` digest (the basename of the pickle in the shared cache
+    directory).  Same determinism contract as :func:`build_manifest`:
+    **no wall-clock**, so the same query answered from the same entry
+    yields a bit-identical manifest.
+    """
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "model_version": MODEL_VERSION,
+        "endpoint": endpoint,
+        "source": source,
+        "platform_digest": platform_digest(platform),
+        "platform": {
+            "num_pch": platform.num_pch,
+            "num_masters": platform.num_masters,
+            "fabric_clock_hz": platform.fabric_clock_hz,
+            "accel_clock_hz": platform.accel_clock_hz,
+        },
+        "inputs": dict(inputs or {}),
+        "entry": entry,
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
 def write_manifest(path: str, manifest: Dict[str, Any]) -> None:
     """Serialize with sorted keys so equal manifests are equal bytes."""
     with open(path, "w") as fh:

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.faults",
     "repro.telemetry",
     "repro.runtime",
+    "repro.service",
 ]
 
 MODULES = [
@@ -41,6 +42,11 @@ MODULES = [
     "repro.experiments.extensions",
     "repro.experiments.parallel",
     "repro.experiments.runner",
+    "repro.experiments.surface",
+    "repro.service.store",
+    "repro.service.queue",
+    "repro.service.http",
+    "repro.service.client",
     "repro.experiments.chaos",
     "repro.faults.chaos",
     "repro.faults.watchdog",

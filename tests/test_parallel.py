@@ -149,6 +149,77 @@ class TestJournaledSweep:
         assert outcome.results == [25, 36]
         assert len(outcome.completed) == 2
 
+    def test_resume_matches_items_with_address_based_repr(self, tmp_path):
+        """Regression: ``_task_id`` fell back to ``repr(item)``; an item
+        whose repr embeds its memory address (``<... object at 0x...>``)
+        got a different id in every process, so resume silently re-ran
+        every journaled point instead of restoring it."""
+        import repro.experiments.parallel as parallel_mod
+
+        class Opaque:  # default object repr: "<...Opaque object at 0x..>"
+            def __init__(self, n):
+                self.n = n
+
+        path = str(tmp_path / "sweep.jsonl")
+        calls = []
+
+        def fn(item):
+            calls.append(item.n)
+            return item.n * 10
+
+        parallel_mod._UNSTABLE_WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="address-based repr"):
+            with RunJournal(path, meta={}) as journal:
+                supervised_sweep(fn, [Opaque(1), Opaque(2)], workers=1,
+                                 journal=journal)
+        assert calls == [1, 2]
+
+        # "Another process": brand-new instances at new addresses.
+        state = load_journal(path)
+        with RunJournal(path, resume=True) as journal:
+            outcome = supervised_sweep(fn, [Opaque(1), Opaque(2)],
+                                       workers=1, journal=journal,
+                                       resume_state=state)
+        assert outcome.results == [10, 20]
+        assert calls == [1, 2]  # restored from the journal, not re-run
+
+    def test_unstable_repr_warns_once_per_type(self, tmp_path):
+        import repro.experiments.parallel as parallel_mod
+
+        class Opaque:
+            pass
+
+        parallel_mod._UNSTABLE_WARNED.clear()
+        with pytest.warns(RuntimeWarning) as record:
+            with RunJournal(str(tmp_path / "j.jsonl"), meta={}) as journal:
+                supervised_sweep(lambda _x: 0,
+                                 [Opaque() for _ in range(10)],
+                                 workers=1, journal=journal)
+        unstable = [w for w in record
+                    if "address-based repr" in str(w.message)]
+        assert len(unstable) == 1
+
+    def test_stable_repr_walks_structured_items(self):
+        """Dataclasses / containers keep field-level identity even when a
+        leaf is unstable, and stable leaves are untouched."""
+        from dataclasses import dataclass
+
+        import repro.experiments.parallel as parallel_mod
+
+        @dataclass(frozen=True)
+        class Point:
+            a: int
+            b: str
+
+        assert parallel_mod._stable_repr(Point(1, "x")).endswith(
+            "Point(a=1, b='x')")
+        assert parallel_mod._stable_repr((1, [2, 3], {"k": 4})) == \
+            "(1, [2, 3], {'k': 4})"
+        # Identical ids across "processes" for the structured case.
+        i1 = parallel_mod._task_id(0, Point(1, "x"), None)
+        i2 = parallel_mod._task_id(0, Point(1, "x"), None)
+        assert i1 == i2
+
     def test_interrupted_inline_sweep_reports_pending(self):
         seen = []
 

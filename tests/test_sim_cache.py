@@ -322,6 +322,164 @@ class TestStatsAndPrune:
         assert result.removed == 0 and result.remaining_entries == 0
 
 
+class TestOrphanedTmpFiles:
+    """Regression: a crash between the ``<digest>.pkl.tmp.<pid>`` write
+    and ``os.replace`` stranded the temp file forever — ``stats()`` never
+    counted it and ``prune()`` never removed it."""
+
+    def _plant_stale_tmp(self, tmp_path, age_seconds=86_400):
+        import os as os_mod
+        import time as time_mod
+        stale = tmp_path / "deadbeef.pkl.tmp.12345"
+        stale.write_bytes(b"half-written pickle")
+        old = time_mod.time() - age_seconds
+        os_mod.utime(stale, (old, old))
+        return stale
+
+    def test_stats_surfaces_orphaned_tmp_files(self, tmp_path):
+        cache = SimCache(directory=str(tmp_path))
+        cache.put(sweep_key("x", DEFAULT_PLATFORM, a=1), "v")
+        stale = self._plant_stale_tmp(tmp_path)
+        stats = cache.stats()
+        assert stats.entries == 1              # tmp is not an entry ...
+        assert stats.orphan_tmp_files == 1     # ... but it is surfaced
+        assert stats.orphan_tmp_bytes == stale.stat().st_size
+        assert "orphaned tmp" in stats.summary()
+
+    def test_prune_sweeps_stale_tmp_files(self, tmp_path):
+        cache = SimCache(directory=str(tmp_path))
+        cache.put(sweep_key("x", DEFAULT_PLATFORM, a=1), "v")
+        stale = self._plant_stale_tmp(tmp_path)
+        result = cache.prune(max_bytes=10 ** 9)  # entries all within budget
+        assert result.removed == 0               # no real entry touched
+        assert result.removed_tmp == 1 and not stale.exists()
+        assert "orphaned tmp" in result.summary()
+        assert cache.stats().orphan_tmp_files == 0
+
+    def test_prune_age_gate_spares_live_writer_tmp(self, tmp_path):
+        """A fresh temp file may belong to a writer mid-spill: prune must
+        not race it."""
+        cache = SimCache(directory=str(tmp_path))
+        live = tmp_path / "cafecafe.pkl.tmp.99999"
+        live.write_bytes(b"in-flight spill")
+        result = cache.prune(max_bytes=10 ** 9)
+        assert result.removed_tmp == 0 and live.exists()
+        # An explicit zero grace period sweeps it immediately.
+        result = cache.prune(max_bytes=10 ** 9, tmp_grace_seconds=0.0)
+        assert result.removed_tmp == 1 and not live.exists()
+
+
+class TestThreadSafety:
+    """Regression: ``__contains__`` saved/restored the counters
+    non-atomically and ``_memory`` was mutated unlocked — fine for
+    process pools (one instance each), wrong once the service shares a
+    cache across threads and asyncio tasks."""
+
+    def test_threaded_put_lookup_contains_stress(self, tmp_path):
+        import threading
+
+        cache = SimCache(directory=str(tmp_path))
+        keys = [sweep_key("stress", DEFAULT_PLATFORM, a=i)
+                for i in range(20)]
+        errors = []
+
+        def hammer(worker):
+            try:
+                for round_ in range(50):
+                    for i, key in enumerate(keys):
+                        cache.put(key, i)
+                        assert key in cache
+                        value = cache.lookup(key)
+                        assert value == i, f"worker {worker}: {value} != {i}"
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Counter conservation: every counted lookup() was a hit, and
+        # __contains__ probes left the counters alone.
+        assert cache.hits == 8 * 50 * 20
+        assert cache.misses == 0
+
+    def test_contains_probe_is_atomic_wrt_counters(self):
+        """A __contains__ running concurrently with lookups must not
+        roll back their counts (the old save/restore did)."""
+        import threading
+
+        cache = SimCache()
+        key = sweep_key("atomic", DEFAULT_PLATFORM, a=1)
+        cache.put(key, "v")
+        stop = threading.Event()
+
+        def prober():
+            while not stop.is_set():
+                assert key in cache
+
+        thread = threading.Thread(target=prober)
+        thread.start()
+        try:
+            for _ in range(2_000):
+                cache.lookup(key)
+        finally:
+            stop.set()
+            thread.join()
+        assert cache.hits == 2_000  # none lost to a concurrent probe
+
+
+class TestMemoryBound:
+    """Regression: every disk hit was promoted into ``_memory``
+    unboundedly — a long-lived server leaks until OOM."""
+
+    def test_lru_bound_evicts_but_disk_still_serves(self, tmp_path):
+        cache = SimCache(directory=str(tmp_path), max_memory_entries=3)
+        keys = [sweep_key("lru", DEFAULT_PLATFORM, a=i) for i in range(10)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        assert cache.memory_entries() == 3
+        # Evicted entries degrade to disk hits, not losses.
+        for i, key in enumerate(keys):
+            assert cache.lookup(key) == i
+        assert cache.misses == 0
+        assert cache.memory_entries() == 3
+
+    def test_lru_keeps_recently_used(self):
+        cache = SimCache(max_memory_entries=2)
+        k1 = sweep_key("lru", DEFAULT_PLATFORM, a=1)
+        k2 = sweep_key("lru", DEFAULT_PLATFORM, a=2)
+        k3 = sweep_key("lru", DEFAULT_PLATFORM, a=3)
+        cache.put(k1, 1)
+        cache.put(k2, 2)
+        assert cache.lookup(k1) == 1     # touch k1: k2 is now the LRU
+        cache.put(k3, 3)                 # evicts k2 (memory-only: gone)
+        assert cache.lookup(k1) == 1
+        assert cache.lookup(k3) == 3
+        assert cache.lookup(k2) is MISS
+
+    def test_unbounded_by_default(self):
+        cache = SimCache()
+        for i in range(500):
+            cache.put(sweep_key("unbounded", DEFAULT_PLATFORM, a=i), i)
+        assert cache.memory_entries() == 500
+
+    def test_env_bound(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CACHE_MEM", "4")
+        cache = SimCache()
+        for i in range(10):
+            cache.put(sweep_key("env", DEFAULT_PLATFORM, a=i), i)
+        assert cache.memory_entries() == 4
+
+    def test_env_bound_invalid_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CACHE_MEM", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_SIM_CACHE_MEM"):
+            cache = SimCache()
+        assert cache.max_memory_entries is None
+
+
 def test_parallel_sweep_prefilters_cached_points():
     from repro.experiments.parallel import parallel_sweep
 
